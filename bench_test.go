@@ -1,0 +1,376 @@
+// Package repro holds the top-level benchmark harness: one benchmark per
+// experiment table/figure (regenerating its headline numbers via
+// b.ReportMetric) plus micro-benchmarks for the hot paths. The full-size
+// tables are produced by cmd/sembench; these benches use the experiments'
+// reduced configurations so `go test -bench=.` completes in minutes.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/experiments"
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/selection"
+	"repro/internal/semantic"
+	"repro/internal/trace"
+)
+
+// BenchmarkE1SemanticVsTraditional regenerates Figure A / Table A: meaning
+// fidelity versus SNR for the semantic pipeline against the Huffman-coded
+// traditional pipeline.
+func BenchmarkE1SemanticVsTraditional(b *testing.B) {
+	env := experiments.Environment()
+	opts := experiments.E1Options{
+		SNRs:              []float64{-6, 0, 6, 12, 18},
+		MessagesPerDomain: 60,
+		Domains:           []string{"it"},
+	}
+	var res *experiments.E1Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunE1(env, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	low := res.Points[0]
+	high := res.Points[len(res.Points)-1]
+	b.ReportMetric(low.SemSimilarity, "sem_sim@-6dB")
+	b.ReportMetric(low.TradConceptAcc, "trad_acc@-6dB")
+	b.ReportMetric(high.SemConceptAcc, "sem_acc@18dB")
+	b.ReportMetric(high.TradPayloadByte/high.SemPayloadByte, "payload_ratio")
+}
+
+// BenchmarkE2CachePolicies regenerates Figure B: model-cache hit rate
+// versus capacity per eviction policy.
+func BenchmarkE2CachePolicies(b *testing.B) {
+	env := experiments.Environment()
+	opts := experiments.E2Options{
+		Capacities: []int{2, 4, 6},
+		Requests:   2000,
+	}
+	var res *experiments.E2Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunE2(env, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, c := range res.Cells {
+		if c.Policy == "lru" && c.Capacity == 4 {
+			b.ReportMetric(c.HitRate, "lru_hit@4models")
+		}
+		if c.Policy == "gdsf" && c.Capacity == 4 {
+			b.ReportMetric(c.HitRate, "gdsf_hit@4models")
+		}
+	}
+}
+
+// BenchmarkE3Personalization regenerates Figure C: semantic mismatch over
+// communication rounds with and without individual models.
+func BenchmarkE3Personalization(b *testing.B) {
+	env := experiments.Environment()
+	opts := experiments.E3Options{Users: 6, Rounds: 16, BufferThreshold: 24, IdiolectStrength: 0.4}
+	var res *experiments.E3Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunE3(env, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	first := res.Rounds[0]
+	last := res.Rounds[len(res.Rounds)-1]
+	b.ReportMetric(first.IndividualMismatch, "mismatch_round1")
+	b.ReportMetric(last.IndividualMismatch, "mismatch_final")
+	b.ReportMetric(res.FinalGap, "final_gap")
+}
+
+// BenchmarkE4DecoderCopy regenerates Table B: feedback/sync traffic of the
+// decoder-copy design versus returning receiver outputs.
+func BenchmarkE4DecoderCopy(b *testing.B) {
+	env := experiments.Environment()
+	opts := experiments.E4Options{Rounds: 8, BufferSize: 24}
+	var res *experiments.E4Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunE4(env, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Mechanisms[0].TotalBytes, "output_return_B")
+	b.ReportMetric(res.Mechanisms[1].TotalBytes, "decoder_copy_B")
+	b.ReportMetric(res.Mechanisms[3].TotalBytes, "copy_topk_int8_B")
+}
+
+// BenchmarkE5ModelSelection regenerates Figure D: selection policy
+// comparison under topic drift.
+func BenchmarkE5ModelSelection(b *testing.B) {
+	env := experiments.Environment()
+	opts := experiments.E5Options{
+		Selectors: []string{core.SelectorNaiveBayes, core.SelectorSticky},
+		Messages:  800,
+		Users:     3,
+	}
+	var res *experiments.E5Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunE5(env, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range res.Rows {
+		switch row.Selector {
+		case core.SelectorNaiveBayes:
+			b.ReportMetric(row.SelectionAccuracy, "nb_acc")
+		case core.SelectorSticky:
+			b.ReportMetric(row.SelectionAccuracy, "sticky_acc")
+		}
+	}
+}
+
+// BenchmarkE6EdgeVsCloud regenerates Table C: latency percentiles per
+// model-placement condition.
+func BenchmarkE6EdgeVsCloud(b *testing.B) {
+	env := experiments.Environment()
+	opts := experiments.E6Options{Messages: 200}
+	var res *experiments.E6Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunE6(env, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Rows[0].P99.Microseconds())/1000, "warm_p99_ms")
+	b.ReportMetric(float64(res.Rows[1].P99.Microseconds())/1000, "cold_p99_ms")
+	b.ReportMetric(float64(res.Rows[2].Mean.Microseconds())/1000, "thrash_mean_ms")
+}
+
+// BenchmarkE7GradientCompression regenerates Figure E: sync payload versus
+// post-sync accuracy across compression settings.
+func BenchmarkE7GradientCompression(b *testing.B) {
+	env := experiments.Environment()
+	opts := experiments.E7Options{TopKFracs: []float64{1, 0.1}, BufferSize: 32, Updates: 3}
+	var res *experiments.E7Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunE7(env, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range res.Points {
+		if p.TopKFrac == 1 && !p.Int8 {
+			b.ReportMetric(p.BytesPerSync, "dense_B")
+			b.ReportMetric(p.ReceiverAccuracy, "dense_acc")
+		}
+		if p.TopKFrac == 0.1 && p.Int8 {
+			b.ReportMetric(p.BytesPerSync, "topk10_int8_B")
+			b.ReportMetric(p.ReceiverAccuracy, "topk10_int8_acc")
+		}
+	}
+}
+
+// BenchmarkE8Scalability regenerates Table D: wall-clock edge throughput
+// under concurrent users.
+func BenchmarkE8Scalability(b *testing.B) {
+	env := experiments.Environment()
+	opts := experiments.E8Options{UserCounts: []int{1, 8, 32}, MessagesPerUser: 100}
+	var res *experiments.E8Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunE8(env, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Rows[0].Throughput, "msgs_per_s@1user")
+	b.ReportMetric(res.Rows[len(res.Rows)-1].Throughput, "msgs_per_s@32users")
+}
+
+// BenchmarkE9FedAvg regenerates Table E: cold-start quality of the
+// FedAvg-improved general model.
+func BenchmarkE9FedAvg(b *testing.B) {
+	env := experiments.Environment()
+	opts := experiments.E9Options{Donors: 6, Rounds: 3, ProbeUsers: 4}
+	var res *experiments.E9Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunE9(env, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Rows[0].ColdStartAcc, "stock_coldstart_acc")
+	b.ReportMetric(res.Rows[1].ColdStartAcc, "fedavg_coldstart_acc")
+}
+
+// BenchmarkE10Multimodal regenerates Table F: semantic versus raw
+// transport for avatar pose streams.
+func BenchmarkE10Multimodal(b *testing.B) {
+	env := experiments.Environment()
+	opts := experiments.E10Options{Frames: 150}
+	var res *experiments.E10Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunE10(env, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Rows[0].NMSE, "semantic_nmse")
+	b.ReportMetric(res.Rows[1].NMSE, "raw_equal_bytes_nmse")
+}
+
+// BenchmarkAblations regenerates the design-choice ablation tables.
+func BenchmarkAblations(b *testing.B) {
+	env := experiments.Environment()
+	opts := experiments.AblationOptions{Messages: 60}
+	var res *experiments.AblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunAblations(env, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Transport[0].ConceptAcc, "hamming_acc@6dB")
+	b.ReportMetric(res.Transport[1].ConceptAcc, "uncoded_acc@6dB")
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks for the hot paths.
+
+// BenchmarkSemanticEncodeToken measures single-token semantic encoding.
+func BenchmarkSemanticEncodeToken(b *testing.B) {
+	env := experiments.Environment()
+	codec := env.General("it")
+	dst := make([]float64, codec.FeatureDim())
+	sid := codec.Domain().SurfaceID("server")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		codec.EncodeSurfaceID(sid, dst)
+	}
+}
+
+// BenchmarkSemanticDecodeToken measures single-token semantic decoding.
+func BenchmarkSemanticDecodeToken(b *testing.B) {
+	env := experiments.Environment()
+	codec := env.General("it")
+	feat := make([]float64, codec.FeatureDim())
+	codec.EncodeSurfaceID(codec.Domain().SurfaceID("server"), feat)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		codec.DecodeFeature(feat)
+	}
+}
+
+// BenchmarkFeatureLink measures the full physical-layer round trip for one
+// message worth of features.
+func BenchmarkFeatureLink(b *testing.B) {
+	env := experiments.Environment()
+	codec := env.General("it")
+	gen := corpus.NewGenerator(env.Corpus, mat.NewRNG(1))
+	msg := gen.Message(env.Corpus.Domain("it").Index, nil)
+	feats := codec.EncodeWords(msg.Words)
+	link := channel.DefaultFeatureLink(&channel.AWGN{SNRdB: 6, Rng: mat.NewRNG(2)})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		link.Send(feats, codec.FeatureDim())
+	}
+}
+
+// BenchmarkHuffmanPipeline measures the traditional pipeline end to end.
+func BenchmarkHuffmanPipeline(b *testing.B) {
+	env := experiments.Environment()
+	gen := corpus.NewGenerator(env.Corpus, mat.NewRNG(1))
+	msg := gen.Message(env.Corpus.Domain("it").Index, nil)
+	text := msg.Text()
+	pipe := baseline.Pipeline{
+		Huff: env.Huffman,
+		Code: channel.Hamming74{},
+		Mod:  channel.BPSK{},
+		Ch:   &channel.AWGN{SNRdB: 6, Rng: mat.NewRNG(2)},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pipe.Send(text)
+	}
+}
+
+// BenchmarkSystemTransmit measures the full Fig.-1 pipeline per message.
+func BenchmarkSystemTransmit(b *testing.B) {
+	env := experiments.Environment()
+	sys, err := core.NewSystem(core.Config{
+		Selector:          core.SelectorSticky,
+		PinGeneral:        true,
+		DisableAutoUpdate: true,
+		Pretrained:        env.Generals,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := trace.Generate(sys.Corpus, trace.Config{Users: 2, Messages: 256, Seed: 3})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := w.Requests[i%len(w.Requests)]
+		if _, err := sys.Transmit(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGradientCompress measures decoder-delta compression.
+func BenchmarkGradientCompress(b *testing.B) {
+	env := experiments.Environment()
+	delta := env.General("it").DecoderParams().Clone()
+	opts := nn.CompressOptions{TopKFrac: 0.1, Int8: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cg := nn.Compress(delta, opts)
+		cg.Encode()
+	}
+}
+
+// BenchmarkSelectorSticky measures context-aware selection per message.
+func BenchmarkSelectorSticky(b *testing.B) {
+	env := experiments.Environment()
+	nb := selection.TrainNaiveBayes(env.Corpus, 60, 5)
+	s := selection.NewSticky(nb, 0)
+	gen := corpus.NewGenerator(env.Corpus, mat.NewRNG(1))
+	msg := gen.Message(0, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Select(msg.Words)
+	}
+}
+
+// BenchmarkCodecFineTune measures one update-process fine-tune (the
+// per-buffer cost of the paper's §II-D individual-model update).
+func BenchmarkCodecFineTune(b *testing.B) {
+	env := experiments.Environment()
+	d := env.Corpus.Domain("it")
+	gen := corpus.NewGenerator(env.Corpus, mat.NewRNG(1))
+	idio := corpus.NewIdiolect(env.Corpus, mat.NewRNG(2), 0.4)
+	codec := env.General("it")
+	var examples []semantic.Example
+	for _, m := range gen.Batch(d.Index, 24, idio) {
+		examples = append(examples, semantic.ExamplesFromMessage(d, m)...)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fresh := codec.Clone()
+		b.StartTimer()
+		fresh.FineTune(examples, 3, 0, mat.NewRNG(uint64(i)+1))
+	}
+}

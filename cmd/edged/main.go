@@ -1,0 +1,208 @@
+// Command edged runs a semantic edge-server daemon: it boots the full
+// two-edge semantic communication system (general models pretrained at
+// startup) and serves transmit/stats requests over a length-prefixed JSON
+// TCP protocol (see internal/rpc).
+//
+// Usage:
+//
+//	edged [-addr :7060] [-selector sticky] [-snr 12] [-seed 1]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/rpc"
+	"repro/internal/semantic"
+	"repro/internal/text"
+)
+
+// loadKB loads one pretrained codec per corpus domain from dir (files
+// written by cmd/semkb), in domain order.
+func loadKB(dir string) ([]*semantic.Codec, error) {
+	corp := corpus.Build()
+	out := make([]*semantic.Codec, len(corp.Domains))
+	for i, d := range corp.Domains {
+		path := filepath.Join(dir, d.Name+".kbm")
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("edged: %w (run `semkb -pretrain -out %s` first)", err, dir)
+		}
+		codec, err := semantic.ReadCodec(f, corp)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("edged: %s: %w", path, err)
+		}
+		if codec.Domain().Name != d.Name {
+			return nil, fmt.Errorf("edged: %s holds domain %q, want %q", path, codec.Domain().Name, d.Name)
+		}
+		out[i] = codec
+	}
+	return out, nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("edged: %v", err)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", ":7060", "listen address")
+		selector = flag.String("selector", "sticky", "model-selection policy (static|naivebayes|sticky|qlearn|ucb)")
+		snr      = flag.Float64("snr", 12, "channel SNR in dB")
+		seed     = flag.Uint64("seed", 1, "deterministic seed")
+		kbDir    = flag.String("kb", "", "directory of pretrained .kbm models (see cmd/semkb); empty pretrains at startup")
+	)
+	flag.Parse()
+
+	cfg := core.Config{
+		Selector:   *selector,
+		SNRdB:      *snr,
+		PinGeneral: true,
+		Seed:       *seed,
+	}
+	start := time.Now()
+	if *kbDir != "" {
+		log.Printf("edged: loading pretrained models from %s...", *kbDir)
+		pretrained, err := loadKB(*kbDir)
+		if err != nil {
+			return err
+		}
+		cfg.Pretrained = pretrained
+	} else {
+		log.Printf("edged: pretraining general models (selector=%s, snr=%.1f dB)...", *selector, *snr)
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := sys.Sender.Prefetch(sys.Corpus.Names()); err != nil {
+		return err
+	}
+	if _, err := sys.Receiver.Prefetch(sys.Corpus.Names()); err != nil {
+		return err
+	}
+	log.Printf("edged: ready in %v (domains: %v)", time.Since(start).Round(time.Millisecond), sys.Corpus.Names())
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("edged: listening on %s", ln.Addr())
+
+	srv := &server{sys: sys}
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		log.Print("edged: shutting down")
+		ln.Close()
+	}()
+
+	var wg sync.WaitGroup
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				break
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			srv.handle(conn)
+		}()
+	}
+	wg.Wait()
+	return nil
+}
+
+// server serializes system access: the core pipeline is single-writer by
+// design (per-user selection state, update process).
+type server struct {
+	mu       sync.Mutex
+	sys      *core.System
+	messages int
+}
+
+// handle serves one client connection until EOF.
+func (s *server) handle(conn net.Conn) {
+	defer conn.Close()
+	for {
+		req, err := rpc.ReadRequest(conn)
+		if err != nil {
+			if err != io.EOF {
+				log.Printf("edged: %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		resp := s.dispatch(req)
+		if err := rpc.Write(conn, resp); err != nil {
+			log.Printf("edged: %s: write: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+// dispatch routes one request.
+func (s *server) dispatch(req *rpc.Request) *rpc.Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch req.Op {
+	case rpc.OpPing:
+		return &rpc.Response{OK: true}
+	case rpc.OpStats:
+		st := s.sys.Sender.CacheStats()
+		return &rpc.Response{OK: true, Stats: &rpc.Stats{
+			Messages:       s.messages,
+			SenderHitRate:  st.HitRate(),
+			SyncBytes:      s.sys.SyncBytes(),
+			SyncCount:      s.sys.SyncCount(),
+			CachedModels:   s.sys.Sender.Cache().Len(),
+			CacheUsedBytes: s.sys.Sender.Cache().Used(),
+		}}
+	case rpc.OpTransmit:
+		user := req.User
+		if user == "" {
+			user = "anonymous"
+		}
+		words := text.Tokenize(req.Text)
+		if len(words) == 0 {
+			return &rpc.Response{Error: "empty message"}
+		}
+		res, err := s.sys.TransmitText(user, words)
+		if err != nil {
+			return &rpc.Response{Error: err.Error()}
+		}
+		s.messages++
+		return &rpc.Response{
+			OK:             true,
+			Restored:       text.Join(res.RestoredWords),
+			SelectedDomain: s.sys.Corpus.Domains[res.SelectedDomain].Name,
+			Mismatch:       res.Mismatch,
+			PayloadBytes:   res.PayloadBytes,
+			LatencyMs:      float64(res.Latency) / float64(time.Millisecond),
+			CacheHit:       res.EncCacheHit,
+			Individual:     res.UsedIndividual,
+			UpdateFired:    res.UpdateFired,
+		}
+	default:
+		return &rpc.Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}

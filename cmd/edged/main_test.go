@@ -1,0 +1,108 @@
+package main
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rpc"
+	"repro/internal/semantic"
+)
+
+var (
+	srvOnce sync.Once
+	srvInst *server
+	srvErr  error
+)
+
+// testServer boots one daemon-side server with small codecs.
+func testServer(t *testing.T) *server {
+	t.Helper()
+	srvOnce.Do(func() {
+		sys, err := core.NewSystem(core.Config{
+			Selector:   core.SelectorSticky,
+			PinGeneral: true,
+			Seed:       3,
+			Codec: semantic.Config{
+				EmbedDim: 12, FeatureDim: 8, HiddenDim: 16,
+				Epochs: 3, Sentences: 500,
+			},
+		})
+		if err != nil {
+			srvErr = err
+			return
+		}
+		if _, err := sys.Sender.Prefetch(sys.Corpus.Names()); err != nil {
+			srvErr = err
+			return
+		}
+		if _, err := sys.Receiver.Prefetch(sys.Corpus.Names()); err != nil {
+			srvErr = err
+			return
+		}
+		srvInst = &server{sys: sys}
+	})
+	if srvErr != nil {
+		t.Fatal(srvErr)
+	}
+	return srvInst
+}
+
+func TestDispatchPing(t *testing.T) {
+	s := testServer(t)
+	resp := s.dispatch(&rpc.Request{Op: rpc.OpPing})
+	if !resp.OK {
+		t.Fatalf("ping failed: %+v", resp)
+	}
+}
+
+func TestDispatchTransmit(t *testing.T) {
+	s := testServer(t)
+	resp := s.dispatch(&rpc.Request{
+		Op:   rpc.OpTransmit,
+		User: "alice",
+		Text: "the server has a kernel bug",
+	})
+	if !resp.OK {
+		t.Fatalf("transmit failed: %+v", resp)
+	}
+	if resp.SelectedDomain != "it" {
+		t.Fatalf("selected domain = %q, want it", resp.SelectedDomain)
+	}
+	if resp.Restored == "" || resp.PayloadBytes <= 0 || resp.LatencyMs <= 0 {
+		t.Fatalf("implausible response: %+v", resp)
+	}
+	if !strings.Contains(resp.Restored, "server") {
+		t.Fatalf("restored %q lost the message", resp.Restored)
+	}
+}
+
+func TestDispatchTransmitEmpty(t *testing.T) {
+	s := testServer(t)
+	resp := s.dispatch(&rpc.Request{Op: rpc.OpTransmit, Text: "  !!  "})
+	if resp.OK || resp.Error == "" {
+		t.Fatal("empty message accepted")
+	}
+}
+
+func TestDispatchStats(t *testing.T) {
+	s := testServer(t)
+	// One transmit so counters are non-trivial.
+	s.dispatch(&rpc.Request{Op: rpc.OpTransmit, User: "bob", Text: "the doctor will scan the patient"})
+	resp := s.dispatch(&rpc.Request{Op: rpc.OpStats})
+	if !resp.OK || resp.Stats == nil {
+		t.Fatalf("stats failed: %+v", resp)
+	}
+	if resp.Stats.Messages < 1 || resp.Stats.CachedModels < 8 {
+		t.Fatalf("stats implausible: %+v", resp.Stats)
+	}
+}
+
+func TestDispatchUnknownOp(t *testing.T) {
+	s := testServer(t)
+	resp := s.dispatch(&rpc.Request{Op: "teleport"})
+	if resp.OK || resp.Error == "" {
+		t.Fatal("unknown op accepted")
+	}
+}

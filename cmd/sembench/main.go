@@ -1,0 +1,225 @@
+// Command sembench regenerates every table and figure in EXPERIMENTS.md:
+// one experiment per flag value, or all of them.
+//
+// Usage:
+//
+//	sembench -exp e1          # Figure A + Table A
+//	sembench -exp all         # everything (takes a few minutes)
+//	sembench -exp e2 -quick   # reduced sizes for a fast look
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id: e1..e8, ablate, or all")
+		quick = flag.Bool("quick", false, "reduced sizes for a fast run")
+	)
+	flag.Parse()
+	if err := run(*exp, *quick); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("sembench: %v", err)
+	}
+}
+
+// run executes the selected experiments and prints their tables.
+func run(exp string, quick bool) error {
+	fmt.Fprintln(os.Stderr, "sembench: building environment (pretraining general models)...")
+	t0 := time.Now()
+	env := experiments.Environment()
+	fmt.Fprintf(os.Stderr, "sembench: environment ready in %v\n\n", time.Since(t0).Round(time.Millisecond))
+
+	runners := map[string]func() error{
+		"e1":     func() error { return runE1(env, quick) },
+		"e2":     func() error { return runE2(env, quick) },
+		"e3":     func() error { return runE3(env, quick) },
+		"e4":     func() error { return runE4(env, quick) },
+		"e5":     func() error { return runE5(env, quick) },
+		"e6":     func() error { return runE6(env, quick) },
+		"e7":     func() error { return runE7(env, quick) },
+		"e8":     func() error { return runE8(env, quick) },
+		"e9":     func() error { return runE9(env, quick) },
+		"e10":    func() error { return runE10(env, quick) },
+		"ablate": func() error { return runAblate(env, quick) },
+	}
+	if exp == "all" {
+		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "ablate"} {
+			if err := runners[id](); err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+		}
+		return nil
+	}
+	r, ok := runners[exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (want e1..e10, ablate, all)", exp)
+	}
+	return r()
+}
+
+func runE9(env *experiments.Env, quick bool) error {
+	opts := experiments.E9Options{}
+	if quick {
+		opts.Donors = 6
+		opts.Rounds = 3
+	}
+	res, err := experiments.RunE9(env, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.TableE())
+	return nil
+}
+
+func runE10(env *experiments.Env, quick bool) error {
+	opts := experiments.E10Options{}
+	if quick {
+		opts.Frames = 120
+	}
+	res, err := experiments.RunE10(env, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.TableF())
+	return nil
+}
+
+func runE1(env *experiments.Env, quick bool) error {
+	opts := experiments.E1Options{}
+	if quick {
+		opts.MessagesPerDomain = 40
+		opts.Domains = []string{"it"}
+	}
+	res, err := experiments.RunE1(env, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.FigureA())
+	fmt.Println(res.TableA())
+	// The Rayleigh companion sweep.
+	opts.Rayleigh = true
+	resR, err := experiments.RunE1(env, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(resR.FigureA())
+	return nil
+}
+
+func runE2(env *experiments.Env, quick bool) error {
+	opts := experiments.E2Options{}
+	if quick {
+		opts.Requests = 1500
+	}
+	res, err := experiments.RunE2(env, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.FigureB())
+	fmt.Println(res.LatencyTable())
+	return nil
+}
+
+func runE3(env *experiments.Env, quick bool) error {
+	opts := experiments.E3Options{}
+	if quick {
+		opts.Users = 4
+		opts.Rounds = 16
+	}
+	res, err := experiments.RunE3(env, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.FigureC())
+	fmt.Printf("final mismatch gap (general - individual): %.4f\n\n", res.FinalGap)
+	return nil
+}
+
+func runE4(env *experiments.Env, quick bool) error {
+	opts := experiments.E4Options{}
+	if quick {
+		opts.Rounds = 8
+	}
+	res, err := experiments.RunE4(env, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.TableB())
+	return nil
+}
+
+func runE5(env *experiments.Env, quick bool) error {
+	opts := experiments.E5Options{}
+	if quick {
+		opts.Messages = 800
+	}
+	res, err := experiments.RunE5(env, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.FigureD())
+	return nil
+}
+
+func runE6(env *experiments.Env, quick bool) error {
+	opts := experiments.E6Options{}
+	if quick {
+		opts.Messages = 150
+	}
+	res, err := experiments.RunE6(env, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.TableC())
+	return nil
+}
+
+func runE7(env *experiments.Env, quick bool) error {
+	opts := experiments.E7Options{}
+	if quick {
+		opts.Updates = 3
+	}
+	res, err := experiments.RunE7(env, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.FigureE())
+	return nil
+}
+
+func runE8(env *experiments.Env, quick bool) error {
+	opts := experiments.E8Options{}
+	if quick {
+		opts.UserCounts = []int{1, 4, 16}
+		opts.MessagesPerUser = 100
+	}
+	res, err := experiments.RunE8(env, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.TableD())
+	return nil
+}
+
+func runAblate(env *experiments.Env, quick bool) error {
+	opts := experiments.AblationOptions{}
+	if quick {
+		opts.Messages = 80
+	}
+	res, err := experiments.RunAblations(env, opts)
+	if err != nil {
+		return err
+	}
+	for _, t := range res.Tables() {
+		fmt.Println(t)
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+// Command semcli is the client for the edged daemon: it sends messages
+// through the semantic pipeline and prints the restored text with
+// transport statistics.
+//
+// Usage:
+//
+//	semcli [-addr localhost:7060] [-user alice] -text "the server is down"
+//	semcli -stats
+//	echo "the doctor ordered a scan" | semcli -user bob
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"repro/internal/rpc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("semcli: %v", err)
+	}
+}
+
+func run() error {
+	var (
+		addr  = flag.String("addr", "localhost:7060", "edged address")
+		user  = flag.String("user", "cli", "user name (drives individual models)")
+		text  = flag.String("text", "", "message to transmit (default: read lines from stdin)")
+		stats = flag.Bool("stats", false, "print daemon statistics and exit")
+	)
+	flag.Parse()
+
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	if *stats {
+		if err := rpc.Write(conn, &rpc.Request{Op: rpc.OpStats}); err != nil {
+			return err
+		}
+		resp, err := rpc.ReadResponse(conn)
+		if err != nil {
+			return err
+		}
+		if !resp.OK {
+			return fmt.Errorf("daemon error: %s", resp.Error)
+		}
+		s := resp.Stats
+		fmt.Printf("messages:      %d\n", s.Messages)
+		fmt.Printf("sender hits:   %.1f%%\n", 100*s.SenderHitRate)
+		fmt.Printf("cached models: %d (%d bytes)\n", s.CachedModels, s.CacheUsedBytes)
+		fmt.Printf("decoder syncs: %d (%d bytes)\n", s.SyncCount, s.SyncBytes)
+		return nil
+	}
+
+	send := func(msg string) error {
+		if err := rpc.Write(conn, &rpc.Request{Op: rpc.OpTransmit, User: *user, Text: msg}); err != nil {
+			return err
+		}
+		resp, err := rpc.ReadResponse(conn)
+		if err != nil {
+			return err
+		}
+		if !resp.OK {
+			return fmt.Errorf("daemon error: %s", resp.Error)
+		}
+		fmt.Printf("restored : %s\n", resp.Restored)
+		fmt.Printf("domain   : %s   payload: %d B   latency: %.2f ms   mismatch: %.3f\n",
+			resp.SelectedDomain, resp.PayloadBytes, resp.LatencyMs, resp.Mismatch)
+		if resp.Individual {
+			fmt.Println("model    : user-specific individual model")
+		}
+		if resp.UpdateFired {
+			fmt.Println("update   : decoder update shipped to receiver edge")
+		}
+		return nil
+	}
+
+	if *text != "" {
+		return send(*text)
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if err := send(line); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}

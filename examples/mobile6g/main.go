@@ -1,0 +1,119 @@
+// Mobile6G: user mobility and handover between edge servers. A user with
+// a personalized individual model moves from edge A to edge B; the
+// serving infrastructure migrates the individual model over the backhaul
+// so personalization survives the handover, and the example accounts for
+// the migration cost against re-learning from scratch.
+//
+// Run with: go run ./examples/mobile6g
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/edge"
+	"repro/internal/fl"
+	"repro/internal/kb"
+	"repro/internal/mat"
+	"repro/internal/netsim"
+	"repro/internal/semantic"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatalf("mobile6g: %v", err)
+	}
+}
+
+func run() error {
+	fmt.Println("== 6G mobility: individual-model handover between edges ==")
+	corp := corpus.Build()
+	d := corp.Domain("it")
+	fmt.Println("pretraining the IT general model...")
+	general := semantic.Pretrain(d, corp, semantic.Config{Seed: 3})
+
+	cloud := kb.NewRegistry()
+	cloud.Put(&kb.Model{Key: kb.GeneralKey(d.Name, kb.RoleCodec), Version: 1, Codec: general})
+
+	backhaul := netsim.Link{Latency: 15 * time.Millisecond, BandwidthBps: 500e6}
+	mkEdge := func(name string) (*edge.Server, error) {
+		return edge.New(edge.Config{
+			Name:            name,
+			CacheCapacity:   1 << 20,
+			Uplink:          netsim.Link{Latency: 40 * time.Millisecond, BandwidthBps: 200e6},
+			BufferThreshold: 24,
+		}, cloud)
+	}
+	edgeA, err := mkEdge("edge-A")
+	if err != nil {
+		return err
+	}
+	edgeB, err := mkEdge("edge-B")
+	if err != nil {
+		return err
+	}
+
+	// Phase 1: the user lives on edge A and personalizes.
+	rng := mat.NewRNG(11)
+	idio := corpus.NewIdiolect(corp, rng.Split(), 0.5)
+	gen := corpus.NewGenerator(corp, rng.Split())
+	fmt.Println("\nphase 1: user attached to edge-A, personalizing...")
+	mismatchAt := func(srv *edge.Server, label string) float64 {
+		probe := gen.Batch(d.Index, 40, idio)
+		total := 0.0
+		for _, m := range probe {
+			acq, err := srv.AcquireCodec(d.Name, "u1")
+			if err != nil {
+				log.Fatal(err)
+			}
+			var exs []semantic.Example
+			exs = append(exs, semantic.ExamplesFromMessage(d, m)...)
+			total += 1 - acq.Model.Codec.Evaluate(exs)
+		}
+		fmt.Printf("  %-28s mismatch %.3f\n", label, total/40)
+		return total / 40
+	}
+	before := mismatchAt(edgeA, "general model on edge-A:")
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 24; i++ {
+			m := gen.Message(d.Index, idio)
+			if _, _, err := edgeA.RecordTransaction(d.Name, "u1", m.Words); err != nil {
+				return err
+			}
+		}
+		if _, err := edgeA.RunUpdate(d.Name, "u1", fl.UpdateConfig{Epochs: 3, Seed: uint64(round) + 1}); err != nil {
+			return err
+		}
+	}
+	after := mismatchAt(edgeA, "personalized on edge-A:")
+	fmt.Printf("  personalization gain: %.3f\n", before-after)
+
+	// Phase 2: handover. Export the individual model on edge A, ship it
+	// over the backhaul, import on edge B.
+	fmt.Println("\nphase 2: user moves; handover edge-A -> edge-B")
+	exported, err := edgeA.ExportUserModel(d.Name, "u1")
+	if err != nil {
+		return err
+	}
+	transfer := backhaul.TransferTime(exported.SizeBytes())
+	fmt.Printf("  migrating %d bytes of individual model: %.2f ms over backhaul\n",
+		exported.SizeBytes(), float64(transfer)/float64(time.Millisecond))
+	if err := edgeB.ImportUserModel(exported); err != nil {
+		return err
+	}
+
+	// Phase 3: verify personalization survived the move.
+	fmt.Println("\nphase 3: user attached to edge-B")
+	afterMove := mismatchAt(edgeB, "migrated model on edge-B:")
+	if afterMove > after+0.02 {
+		return fmt.Errorf("handover lost personalization: %.3f -> %.3f", after, afterMove)
+	}
+	fresh := before
+	fmt.Printf("\nhandover verdict: migrated mismatch %.3f vs %.3f if restarting from the general model\n",
+		afterMove, fresh)
+	fmt.Printf("the %.2f ms migration preserved %d update rounds of personalization\n",
+		float64(transfer)/float64(time.Millisecond), 4)
+	return nil
+}

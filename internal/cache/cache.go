@@ -1,0 +1,203 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/kb"
+)
+
+// ErrTooLarge reports that an entry cannot fit even after evicting every
+// unpinned entry.
+var ErrTooLarge = errors.New("cache: entry larger than available capacity")
+
+// Stats counts cache activity. BytesFetched accumulates the sizes of
+// entries admitted on miss, i.e. the backhaul traffic a real edge cache
+// would generate.
+type Stats struct {
+	Hits         uint64
+	Misses       uint64
+	Evictions    uint64
+	BytesFetched int64
+}
+
+// HitRate returns hits / (hits + misses), or 0 with no traffic.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// entry is one cached model.
+type entry struct {
+	model  *kb.Model
+	size   int64
+	pinned bool
+}
+
+// Cache is a byte-capacity-bounded model store with pluggable eviction.
+// It is safe for concurrent use.
+//
+// Pinned entries (typically the domain-general models the paper keeps
+// resident) never enter the eviction policy and can only be removed
+// explicitly.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	entries  map[kb.Key]*entry
+	policy   Policy
+	stats    Stats
+}
+
+// New returns a cache with the given byte capacity and eviction policy.
+func New(capacity int64, policy Policy) (*Cache, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("cache: non-positive capacity %d", capacity)
+	}
+	if policy == nil {
+		return nil, errors.New("cache: nil policy")
+	}
+	return &Cache{
+		capacity: capacity,
+		entries:  make(map[kb.Key]*entry, 16),
+		policy:   policy,
+	}, nil
+}
+
+// Get returns the cached model for k, recording a hit or miss.
+func (c *Cache) Get(k kb.Key) (*kb.Model, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	if !e.pinned {
+		c.policy.OnAccess(k)
+	}
+	return e.model, true
+}
+
+// Contains reports presence without touching statistics or recency.
+func (c *Cache) Contains(k kb.Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[k]
+	return ok
+}
+
+// Put inserts m (replacing any entry under the same key), evicting
+// unpinned entries as needed. Pinned entries never get evicted. The
+// model's size counts as fetched bytes: Put is what a miss-path fetch
+// calls after pulling the model from the origin.
+func (c *Cache) Put(m *kb.Model, pinned bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	size := m.SizeBytes()
+	if old, ok := c.entries[m.Key]; ok {
+		c.removeLocked(m.Key, old, false)
+	}
+	if size > c.capacity {
+		return fmt.Errorf("%w: %s is %d bytes, capacity %d", ErrTooLarge, m.Key, size, c.capacity)
+	}
+	for c.used+size > c.capacity {
+		victim, ok := c.policy.Victim()
+		if !ok {
+			return fmt.Errorf("%w: %s is %d bytes, %d in use by pinned entries",
+				ErrTooLarge, m.Key, size, c.used)
+		}
+		ve, ok := c.entries[victim]
+		if !ok {
+			// A policy proposing an unknown key is a programming error in
+			// the policy; drop it from the policy and continue.
+			c.policy.OnRemove(victim)
+			continue
+		}
+		c.removeLocked(victim, ve, true)
+	}
+	c.entries[m.Key] = &entry{model: m, size: size, pinned: pinned}
+	c.used += size
+	if !pinned {
+		c.policy.OnAdmit(m.Key, size)
+	}
+	c.stats.BytesFetched += size
+	return nil
+}
+
+// removeLocked deletes an entry; the caller holds c.mu.
+func (c *Cache) removeLocked(k kb.Key, e *entry, evicted bool) {
+	delete(c.entries, k)
+	c.used -= e.size
+	if !e.pinned {
+		c.policy.OnRemove(k)
+	}
+	if evicted {
+		c.stats.Evictions++
+	}
+}
+
+// Remove explicitly deletes the entry for k (pinned or not), reporting
+// whether it was present.
+func (c *Cache) Remove(k kb.Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if !ok {
+		return false
+	}
+	c.removeLocked(k, e, false)
+	return true
+}
+
+// Used returns the bytes currently stored.
+func (c *Cache) Used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Capacity returns the configured byte capacity.
+func (c *Cache) Capacity() int64 { return c.capacity }
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// ResetStats zeroes the counters (capacity and contents are unchanged).
+func (c *Cache) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats = Stats{}
+}
+
+// Keys returns the cached keys in deterministic (string-sorted) order.
+func (c *Cache) Keys() []kb.Key {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]kb.Key, 0, len(c.entries))
+	for k := range c.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	return keys
+}
+
+// PolicyName returns the eviction policy's name.
+func (c *Cache) PolicyName() string { return c.policy.Name() }

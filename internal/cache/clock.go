@@ -1,0 +1,87 @@
+package cache
+
+import (
+	"container/list"
+
+	"repro/internal/kb"
+)
+
+// Clock is the second-chance (CLOCK) eviction policy: an approximation of
+// LRU with O(1) bookkeeping per access. Entries sit on a circular list
+// with a reference bit; the hand sweeps, clearing bits, and evicts the
+// first unreferenced entry it finds.
+type Clock struct {
+	ring  *list.List // circular order; hand points at the next candidate
+	items map[kb.Key]*list.Element
+	hand  *list.Element
+	refs  map[kb.Key]bool
+}
+
+var _ Policy = (*Clock)(nil)
+
+// NewClock returns an empty CLOCK policy.
+func NewClock() *Clock {
+	return &Clock{
+		ring:  list.New(),
+		items: make(map[kb.Key]*list.Element, 16),
+		refs:  make(map[kb.Key]bool, 16),
+	}
+}
+
+// Name implements Policy.
+func (p *Clock) Name() string { return "clock" }
+
+// OnAdmit implements Policy.
+func (p *Clock) OnAdmit(k kb.Key, _ int64) {
+	if _, ok := p.items[k]; ok {
+		p.refs[k] = true
+		return
+	}
+	p.items[k] = p.ring.PushBack(k)
+	p.refs[k] = true
+}
+
+// OnAccess implements Policy.
+func (p *Clock) OnAccess(k kb.Key) {
+	if _, ok := p.items[k]; ok {
+		p.refs[k] = true
+	}
+}
+
+// OnRemove implements Policy.
+func (p *Clock) OnRemove(k kb.Key) {
+	e, ok := p.items[k]
+	if !ok {
+		return
+	}
+	if p.hand == e {
+		p.hand = e.Next()
+	}
+	p.ring.Remove(e)
+	delete(p.items, k)
+	delete(p.refs, k)
+}
+
+// Victim implements Policy: sweep the hand, giving referenced entries a
+// second chance, until an unreferenced entry is found.
+func (p *Clock) Victim() (kb.Key, bool) {
+	if p.ring.Len() == 0 {
+		return kb.Key{}, false
+	}
+	// At most two sweeps: the first clears all reference bits.
+	for i := 0; i < 2*p.ring.Len(); i++ {
+		if p.hand == nil {
+			p.hand = p.ring.Front()
+		}
+		k := p.hand.Value.(kb.Key)
+		if p.refs[k] {
+			p.refs[k] = false
+			p.hand = p.hand.Next()
+			continue
+		}
+		return k, true
+	}
+	// All entries were re-referenced mid-sweep (cannot happen without
+	// concurrent access, which Cache serializes); fall back to the front.
+	return p.ring.Front().Value.(kb.Key), true
+}

@@ -1,0 +1,124 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/kb"
+)
+
+func TestClockSecondChance(t *testing.T) {
+	c, err := New(capacityFor(t, 2), NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := testModel(t, "a", "", kb.RoleCodec)
+	b := testModel(t, "b", "", kb.RoleCodec)
+	d := testModel(t, "d", "", kb.RoleCodec)
+	for _, m := range []*kb.Model{a, b} {
+		if err := c.Put(m, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch a: it gets a reference bit and survives the sweep; b (admitted
+	// second, also referenced at admit) — the hand clears a first, then b,
+	// then evicts a or b depending on sweep order. Touch a again right
+	// before the eviction to guarantee b goes.
+	c.Get(a.Key)
+	c.Get(a.Key)
+	if err := c.Put(d, false); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Contains(a.Key) {
+		// The first sweep clears all bits, so with both referenced the
+		// eviction order follows ring order: a was admitted first. Accept
+		// either victim but require exactly one eviction.
+		if !c.Contains(b.Key) {
+			t.Fatal("clock evicted both entries")
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d", c.Stats().Evictions)
+	}
+}
+
+func TestClockUnreferencedEvictedFirst(t *testing.T) {
+	p := NewClock()
+	ka := kb.Key{Domain: "a", Role: kb.RoleCodec}
+	kbKey := kb.Key{Domain: "b", Role: kb.RoleCodec}
+	p.OnAdmit(ka, 1)
+	p.OnAdmit(kbKey, 1)
+	// First Victim sweep clears both bits and returns the first
+	// unreferenced entry (a, after its bit is cleared on the first pass).
+	v1, ok := p.Victim()
+	if !ok {
+		t.Fatal("no victim")
+	}
+	// Re-reference the survivor candidate a; now b must be the victim.
+	p.OnAccess(ka)
+	v2, ok := p.Victim()
+	if !ok {
+		t.Fatal("no victim")
+	}
+	_ = v1
+	if v2 != kbKey {
+		t.Fatalf("victim = %v, want %v", v2, kbKey)
+	}
+}
+
+func TestClockRemoveMovesHand(t *testing.T) {
+	p := NewClock()
+	keys := []kb.Key{
+		{Domain: "a", Role: kb.RoleCodec},
+		{Domain: "b", Role: kb.RoleCodec},
+		{Domain: "c", Role: kb.RoleCodec},
+	}
+	for _, k := range keys {
+		p.OnAdmit(k, 1)
+	}
+	// Position the hand, then remove the entry under it.
+	if _, ok := p.Victim(); !ok {
+		t.Fatal("no victim")
+	}
+	p.OnRemove(keys[0])
+	p.OnRemove(keys[1])
+	v, ok := p.Victim()
+	if !ok || v != keys[2] {
+		t.Fatalf("victim after removals = %v, %v", v, ok)
+	}
+	p.OnRemove(keys[2])
+	if _, ok := p.Victim(); ok {
+		t.Fatal("empty policy returned a victim")
+	}
+}
+
+func TestClockInPolicyFactory(t *testing.T) {
+	p, ok := NewPolicy("clock")
+	if !ok || p.Name() != "clock" {
+		t.Fatal("clock not registered in NewPolicy")
+	}
+}
+
+func TestClockApproximatesLRUOnScan(t *testing.T) {
+	// Sequential scan with no re-use: clock behaves like FIFO/LRU and the
+	// cache keeps only the most recent items.
+	c, err := New(capacityFor(t, 3), NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"a", "b", "d", "e", "f", "g"}
+	for _, n := range names {
+		if err := c.Put(testModel(t, n, "", kb.RoleCodec), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	// The last inserted entry must be resident.
+	if !c.Contains(kb.Key{Domain: "g", Role: kb.RoleCodec}) {
+		t.Fatal("most recent entry evicted")
+	}
+}

@@ -1,0 +1,276 @@
+// Package cache implements the semantic model cache at the center of the
+// paper's contribution: edge servers hold domain-specialized general models
+// and user-specific individual models in bounded storage, with pluggable
+// eviction policies and byte-level capacity accounting.
+package cache
+
+import (
+	"container/list"
+
+	"repro/internal/kb"
+)
+
+// Policy orders cache entries for eviction. Implementations are not safe
+// for concurrent use; Cache serializes calls under its own lock.
+//
+// Model caches hold tens of entries, so the scan-based policies (LFU,
+// GDSF) accept O(n) victim selection in exchange for simplicity; LRU and
+// FIFO are O(1).
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// OnAdmit records a newly inserted entry of the given size.
+	OnAdmit(k kb.Key, size int64)
+	// OnAccess records a cache hit.
+	OnAccess(k kb.Key)
+	// OnRemove forgets an entry (evicted or explicitly removed).
+	OnRemove(k kb.Key)
+	// Victim proposes the next entry to evict. It returns false when the
+	// policy tracks no entries.
+	Victim() (kb.Key, bool)
+}
+
+// LRU evicts the least recently used entry.
+type LRU struct {
+	ll    *list.List // front = most recent
+	items map[kb.Key]*list.Element
+}
+
+var _ Policy = (*LRU)(nil)
+
+// NewLRU returns an empty LRU policy.
+func NewLRU() *LRU {
+	return &LRU{ll: list.New(), items: make(map[kb.Key]*list.Element, 16)}
+}
+
+// Name implements Policy.
+func (p *LRU) Name() string { return "lru" }
+
+// OnAdmit implements Policy.
+func (p *LRU) OnAdmit(k kb.Key, _ int64) {
+	if e, ok := p.items[k]; ok {
+		p.ll.MoveToFront(e)
+		return
+	}
+	p.items[k] = p.ll.PushFront(k)
+}
+
+// OnAccess implements Policy.
+func (p *LRU) OnAccess(k kb.Key) {
+	if e, ok := p.items[k]; ok {
+		p.ll.MoveToFront(e)
+	}
+}
+
+// OnRemove implements Policy.
+func (p *LRU) OnRemove(k kb.Key) {
+	if e, ok := p.items[k]; ok {
+		p.ll.Remove(e)
+		delete(p.items, k)
+	}
+}
+
+// Victim implements Policy.
+func (p *LRU) Victim() (kb.Key, bool) {
+	e := p.ll.Back()
+	if e == nil {
+		return kb.Key{}, false
+	}
+	return e.Value.(kb.Key), true
+}
+
+// FIFO evicts the oldest-inserted entry regardless of use.
+type FIFO struct {
+	ll    *list.List // front = newest
+	items map[kb.Key]*list.Element
+}
+
+var _ Policy = (*FIFO)(nil)
+
+// NewFIFO returns an empty FIFO policy.
+func NewFIFO() *FIFO {
+	return &FIFO{ll: list.New(), items: make(map[kb.Key]*list.Element, 16)}
+}
+
+// Name implements Policy.
+func (p *FIFO) Name() string { return "fifo" }
+
+// OnAdmit implements Policy.
+func (p *FIFO) OnAdmit(k kb.Key, _ int64) {
+	if _, ok := p.items[k]; ok {
+		return
+	}
+	p.items[k] = p.ll.PushFront(k)
+}
+
+// OnAccess implements Policy. FIFO ignores accesses.
+func (p *FIFO) OnAccess(kb.Key) {}
+
+// OnRemove implements Policy.
+func (p *FIFO) OnRemove(k kb.Key) {
+	if e, ok := p.items[k]; ok {
+		p.ll.Remove(e)
+		delete(p.items, k)
+	}
+}
+
+// Victim implements Policy.
+func (p *FIFO) Victim() (kb.Key, bool) {
+	e := p.ll.Back()
+	if e == nil {
+		return kb.Key{}, false
+	}
+	return e.Value.(kb.Key), true
+}
+
+// LFU evicts the least frequently used entry, breaking ties by least
+// recent access.
+type LFU struct {
+	freq map[kb.Key]int
+	tick map[kb.Key]uint64
+	now  uint64
+}
+
+var _ Policy = (*LFU)(nil)
+
+// NewLFU returns an empty LFU policy.
+func NewLFU() *LFU {
+	return &LFU{freq: make(map[kb.Key]int, 16), tick: make(map[kb.Key]uint64, 16)}
+}
+
+// Name implements Policy.
+func (p *LFU) Name() string { return "lfu" }
+
+// OnAdmit implements Policy.
+func (p *LFU) OnAdmit(k kb.Key, _ int64) {
+	p.now++
+	if _, ok := p.freq[k]; !ok {
+		p.freq[k] = 1
+	}
+	p.tick[k] = p.now
+}
+
+// OnAccess implements Policy.
+func (p *LFU) OnAccess(k kb.Key) {
+	p.now++
+	if _, ok := p.freq[k]; ok {
+		p.freq[k]++
+		p.tick[k] = p.now
+	}
+}
+
+// OnRemove implements Policy.
+func (p *LFU) OnRemove(k kb.Key) {
+	delete(p.freq, k)
+	delete(p.tick, k)
+}
+
+// Victim implements Policy.
+func (p *LFU) Victim() (kb.Key, bool) {
+	var best kb.Key
+	bestFreq := -1
+	var bestTick uint64
+	for k, f := range p.freq {
+		if bestFreq == -1 || f < bestFreq || (f == bestFreq && p.tick[k] < bestTick) {
+			best, bestFreq, bestTick = k, f, p.tick[k]
+		}
+	}
+	if bestFreq == -1 {
+		return kb.Key{}, false
+	}
+	return best, true
+}
+
+// GDSF is Greedy-Dual-Size-Frequency: priority = clock + frequency/size,
+// favoring small, popular entries; the aging clock prevents stale popular
+// entries from living forever. Size is measured in KiB so frequency and
+// size terms stay comparable for model-scale objects.
+type GDSF struct {
+	prio  map[kb.Key]float64
+	freq  map[kb.Key]int
+	size  map[kb.Key]int64
+	clock float64
+}
+
+var _ Policy = (*GDSF)(nil)
+
+// NewGDSF returns an empty GDSF policy.
+func NewGDSF() *GDSF {
+	return &GDSF{
+		prio: make(map[kb.Key]float64, 16),
+		freq: make(map[kb.Key]int, 16),
+		size: make(map[kb.Key]int64, 16),
+	}
+}
+
+// Name implements Policy.
+func (p *GDSF) Name() string { return "gdsf" }
+
+// sizeKiB converts bytes to KiB with a floor of 1 to avoid division blowup.
+func sizeKiB(size int64) float64 {
+	kib := float64(size) / 1024
+	if kib < 1 {
+		return 1
+	}
+	return kib
+}
+
+// OnAdmit implements Policy.
+func (p *GDSF) OnAdmit(k kb.Key, size int64) {
+	if _, ok := p.freq[k]; !ok {
+		p.freq[k] = 1
+		p.size[k] = size
+	}
+	p.prio[k] = p.clock + float64(p.freq[k])/sizeKiB(p.size[k])
+}
+
+// OnAccess implements Policy.
+func (p *GDSF) OnAccess(k kb.Key) {
+	if _, ok := p.freq[k]; !ok {
+		return
+	}
+	p.freq[k]++
+	p.prio[k] = p.clock + float64(p.freq[k])/sizeKiB(p.size[k])
+}
+
+// OnRemove implements Policy.
+func (p *GDSF) OnRemove(k kb.Key) {
+	if pr, ok := p.prio[k]; ok && pr > p.clock {
+		p.clock = pr // age the clock to the evicted priority
+	}
+	delete(p.prio, k)
+	delete(p.freq, k)
+	delete(p.size, k)
+}
+
+// Victim implements Policy.
+func (p *GDSF) Victim() (kb.Key, bool) {
+	var best kb.Key
+	bestPrio := -1.0
+	found := false
+	for k, pr := range p.prio {
+		if !found || pr < bestPrio || (pr == bestPrio && k.String() < best.String()) {
+			best, bestPrio, found = k, pr, true
+		}
+	}
+	return best, found
+}
+
+// NewPolicy builds a policy by name ("lru", "fifo", "lfu", "gdsf",
+// "clock"), returning false for unknown names.
+func NewPolicy(name string) (Policy, bool) {
+	switch name {
+	case "lru":
+		return NewLRU(), true
+	case "fifo":
+		return NewFIFO(), true
+	case "lfu":
+		return NewLFU(), true
+	case "gdsf":
+		return NewGDSF(), true
+	case "clock":
+		return NewClock(), true
+	default:
+		return nil, false
+	}
+}

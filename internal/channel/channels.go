@@ -1,0 +1,130 @@
+package channel
+
+import (
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Channel distorts a symbol stream as a physical medium would.
+type Channel interface {
+	// Name identifies the channel in experiment output.
+	Name() string
+	// Transmit returns the received symbols for the given sent symbols.
+	Transmit(symbols []complex128) []complex128
+}
+
+// Clean is a distortion-free channel, useful as a control condition.
+type Clean struct{}
+
+var _ Channel = Clean{}
+
+// Name implements Channel.
+func (Clean) Name() string { return "clean" }
+
+// Transmit implements Channel.
+func (Clean) Transmit(symbols []complex128) []complex128 {
+	out := make([]complex128, len(symbols))
+	copy(out, symbols)
+	return out
+}
+
+// AWGN adds complex white Gaussian noise at a configured signal-to-noise
+// ratio, assuming unit average symbol energy.
+type AWGN struct {
+	// SNRdB is the per-symbol signal-to-noise ratio in decibels.
+	SNRdB float64
+	// Rng drives the noise; it must be non-nil.
+	Rng *mat.RNG
+}
+
+var _ Channel = (*AWGN)(nil)
+
+// Name implements Channel.
+func (c *AWGN) Name() string { return "awgn" }
+
+// NoiseSigma returns the per-component noise standard deviation implied by
+// SNRdB for unit-energy symbols.
+func (c *AWGN) NoiseSigma() float64 {
+	noisePower := math.Pow(10, -c.SNRdB/10)
+	return math.Sqrt(noisePower / 2)
+}
+
+// Transmit implements Channel.
+func (c *AWGN) Transmit(symbols []complex128) []complex128 {
+	sigma := c.NoiseSigma()
+	out := make([]complex128, len(symbols))
+	for i, s := range symbols {
+		out[i] = s + complex(sigma*c.Rng.NormFloat64(), sigma*c.Rng.NormFloat64())
+	}
+	return out
+}
+
+// Rayleigh models flat Rayleigh fading with AWGN and perfect channel state
+// information at the receiver: y = h*x + n, equalized as y/h.
+type Rayleigh struct {
+	// SNRdB is the average per-symbol signal-to-noise ratio in decibels.
+	SNRdB float64
+	// BlockLen is the number of symbols sharing one fading coefficient
+	// (coherence block); 0 means per-symbol fading.
+	BlockLen int
+	// Rng drives fading and noise; it must be non-nil.
+	Rng *mat.RNG
+}
+
+var _ Channel = (*Rayleigh)(nil)
+
+// Name implements Channel.
+func (c *Rayleigh) Name() string { return "rayleigh" }
+
+// Transmit implements Channel.
+func (c *Rayleigh) Transmit(symbols []complex128) []complex128 {
+	noisePower := math.Pow(10, -c.SNRdB/10)
+	sigma := math.Sqrt(noisePower / 2)
+	block := c.BlockLen
+	if block <= 0 {
+		block = 1
+	}
+	out := make([]complex128, len(symbols))
+	var h complex128
+	for i, s := range symbols {
+		if i%block == 0 {
+			// h ~ CN(0,1): unit average power fade.
+			h = complex(c.Rng.NormFloat64()/math.Sqrt2, c.Rng.NormFloat64()/math.Sqrt2)
+			// Avoid pathological division in deep fades.
+			if abs := math.Hypot(real(h), imag(h)); abs < 1e-3 {
+				h = complex(1e-3, 0)
+			}
+		}
+		n := complex(sigma*c.Rng.NormFloat64(), sigma*c.Rng.NormFloat64())
+		out[i] = (h*s + n) / h
+	}
+	return out
+}
+
+// Erasure zeroes each symbol independently with probability P, modeling
+// deep packet-level losses.
+type Erasure struct {
+	// P is the per-symbol erasure probability in [0,1].
+	P float64
+	// Rng drives erasures; it must be non-nil.
+	Rng *mat.RNG
+}
+
+var _ Channel = (*Erasure)(nil)
+
+// Name implements Channel.
+func (c *Erasure) Name() string { return "erasure" }
+
+// Transmit implements Channel.
+func (c *Erasure) Transmit(symbols []complex128) []complex128 {
+	out := make([]complex128, len(symbols))
+	for i, s := range symbols {
+		if c.Rng.Float64() < c.P {
+			out[i] = 0
+		} else {
+			out[i] = s
+		}
+	}
+	return out
+}

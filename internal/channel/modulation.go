@@ -1,0 +1,172 @@
+package channel
+
+import "math"
+
+// Modulation maps bit streams to complex baseband symbols and back (hard
+// decision). All modulations are normalized to unit average symbol energy.
+type Modulation interface {
+	// Name identifies the modulation in experiment output.
+	Name() string
+	// BitsPerSymbol returns the number of bits each symbol carries.
+	BitsPerSymbol() int
+	// Modulate maps bits to symbols. Bit streams are zero-padded to a
+	// multiple of BitsPerSymbol.
+	Modulate(bits []bool) []complex128
+	// Demodulate maps symbols back to bits by nearest-constellation-point
+	// decision.
+	Demodulate(symbols []complex128) []bool
+}
+
+// BPSK is binary phase-shift keying: one bit per real symbol.
+type BPSK struct{}
+
+var _ Modulation = BPSK{}
+
+// Name implements Modulation.
+func (BPSK) Name() string { return "bpsk" }
+
+// BitsPerSymbol implements Modulation.
+func (BPSK) BitsPerSymbol() int { return 1 }
+
+// Modulate implements Modulation.
+func (BPSK) Modulate(bits []bool) []complex128 {
+	out := make([]complex128, len(bits))
+	for i, b := range bits {
+		if b {
+			out[i] = complex(1, 0)
+		} else {
+			out[i] = complex(-1, 0)
+		}
+	}
+	return out
+}
+
+// Demodulate implements Modulation.
+func (BPSK) Demodulate(symbols []complex128) []bool {
+	out := make([]bool, len(symbols))
+	for i, s := range symbols {
+		out[i] = real(s) >= 0
+	}
+	return out
+}
+
+// QPSK is quadrature phase-shift keying: two Gray-coded bits per symbol.
+type QPSK struct{}
+
+var _ Modulation = QPSK{}
+
+// Name implements Modulation.
+func (QPSK) Name() string { return "qpsk" }
+
+// BitsPerSymbol implements Modulation.
+func (QPSK) BitsPerSymbol() int { return 2 }
+
+// qpskAmp normalizes unit average energy: each I/Q component is ±1/√2.
+var qpskAmp = 1 / math.Sqrt2
+
+// Modulate implements Modulation.
+func (QPSK) Modulate(bits []bool) []complex128 {
+	n := (len(bits) + 1) / 2
+	out := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		b0, b1 := false, false
+		if 2*i < len(bits) {
+			b0 = bits[2*i]
+		}
+		if 2*i+1 < len(bits) {
+			b1 = bits[2*i+1]
+		}
+		re, im := -qpskAmp, -qpskAmp
+		if b0 {
+			re = qpskAmp
+		}
+		if b1 {
+			im = qpskAmp
+		}
+		out[i] = complex(re, im)
+	}
+	return out
+}
+
+// Demodulate implements Modulation.
+func (QPSK) Demodulate(symbols []complex128) []bool {
+	out := make([]bool, 0, 2*len(symbols))
+	for _, s := range symbols {
+		out = append(out, real(s) >= 0, imag(s) >= 0)
+	}
+	return out
+}
+
+// QAM16 is 16-ary quadrature amplitude modulation with Gray coding: four
+// bits per symbol, two per axis.
+type QAM16 struct{}
+
+var _ Modulation = QAM16{}
+
+// Name implements Modulation.
+func (QAM16) Name() string { return "16qam" }
+
+// BitsPerSymbol implements Modulation.
+func (QAM16) BitsPerSymbol() int { return 4 }
+
+// qam16Amp normalizes average symbol energy to 1 for levels {±1, ±3}:
+// E = 2 * mean{1,9} = 10, so divide by √10.
+var qam16Amp = 1 / math.Sqrt(10)
+
+// qam16Level maps two Gray-coded bits to an axis level.
+func qam16Level(b0, b1 bool) float64 {
+	// Gray mapping: 00 -> -3, 01 -> -1, 11 -> +1, 10 -> +3.
+	switch {
+	case !b0 && !b1:
+		return -3
+	case !b0 && b1:
+		return -1
+	case b0 && b1:
+		return +1
+	default:
+		return +3
+	}
+}
+
+// qam16Bits inverts qam16Level by nearest level.
+func qam16Bits(v float64) (bool, bool) {
+	switch {
+	case v < -2:
+		return false, false
+	case v < 0:
+		return false, true
+	case v < 2:
+		return true, true
+	default:
+		return true, false
+	}
+}
+
+// Modulate implements Modulation.
+func (QAM16) Modulate(bits []bool) []complex128 {
+	n := (len(bits) + 3) / 4
+	out := make([]complex128, n)
+	get := func(i int) bool {
+		if i < len(bits) {
+			return bits[i]
+		}
+		return false
+	}
+	for i := 0; i < n; i++ {
+		re := qam16Level(get(4*i), get(4*i+1))
+		im := qam16Level(get(4*i+2), get(4*i+3))
+		out[i] = complex(re*qam16Amp, im*qam16Amp)
+	}
+	return out
+}
+
+// Demodulate implements Modulation.
+func (QAM16) Demodulate(symbols []complex128) []bool {
+	out := make([]bool, 0, 4*len(symbols))
+	for _, s := range symbols {
+		b0, b1 := qam16Bits(real(s) / qam16Amp)
+		b2, b3 := qam16Bits(imag(s) / qam16Amp)
+		out = append(out, b0, b1, b2, b3)
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package channel
+
+// Quantizer maps bounded float values to fixed-width bit codes and back.
+// Semantic feature vectors are tanh-bounded, so [-1,1] with 4-8 bits per
+// dimension is the standard configuration.
+type Quantizer struct {
+	Bits   int     // bits per value; must be in [1,16]
+	Lo, Hi float64 // value range; values outside are clamped
+}
+
+// DefaultQuantizer quantizes tanh features with 3 bits per dimension: the
+// smallest width that costs no measurable codec accuracy (the quantization
+// step sits at the denoising-training noise level, which the decoder is
+// trained to absorb).
+func DefaultQuantizer() Quantizer { return Quantizer{Bits: 3, Lo: -1, Hi: 1} }
+
+// levels returns the number of quantization levels.
+func (q Quantizer) levels() int { return 1 << uint(q.Bits) }
+
+// Encode quantizes vals into a bit stream of len(vals)*Bits bits.
+func (q Quantizer) Encode(vals []float64) []bool {
+	if q.Bits < 1 || q.Bits > 16 {
+		panic("channel: Quantizer.Bits out of range [1,16]")
+	}
+	n := q.levels()
+	span := q.Hi - q.Lo
+	out := make([]bool, 0, len(vals)*q.Bits)
+	for _, v := range vals {
+		if v < q.Lo {
+			v = q.Lo
+		} else if v > q.Hi {
+			v = q.Hi
+		}
+		idx := int((v - q.Lo) / span * float64(n-1))
+		if idx < 0 {
+			idx = 0
+		} else if idx > n-1 {
+			idx = n - 1
+		}
+		for b := q.Bits - 1; b >= 0; b-- {
+			out = append(out, idx&(1<<uint(b)) != 0)
+		}
+	}
+	return out
+}
+
+// Decode reconstructs values from a bit stream produced by Encode.
+// Trailing bits that do not fill a full code are ignored.
+func (q Quantizer) Decode(bits []bool) []float64 {
+	if q.Bits < 1 || q.Bits > 16 {
+		panic("channel: Quantizer.Bits out of range [1,16]")
+	}
+	n := q.levels()
+	span := q.Hi - q.Lo
+	count := len(bits) / q.Bits
+	out := make([]float64, count)
+	for i := 0; i < count; i++ {
+		idx := 0
+		for b := 0; b < q.Bits; b++ {
+			idx <<= 1
+			if bits[i*q.Bits+b] {
+				idx |= 1
+			}
+		}
+		out[i] = q.Lo + float64(idx)/float64(n-1)*span
+	}
+	return out
+}
+
+// StepSize returns the reconstruction step between adjacent levels.
+func (q Quantizer) StepSize() float64 {
+	return (q.Hi - q.Lo) / float64(q.levels()-1)
+}

@@ -1,0 +1,595 @@
+// Package core wires every substrate into the paper's complete semantic
+// edge computing and caching system (Fig. 1):
+//
+//  1. the sender edge selects a domain-specialized model for each message
+//     (§III-A), caching general encoders AND decoders locally (§II-C);
+//  2. per-user individual models are cloned from the general models and
+//     cached separately (§II-B);
+//  3. semantic features cross the physical channel to the receiver edge,
+//     which restores the message with its decoder (§I);
+//  4. the sender computes semantic mismatch locally via its decoder copy
+//     and buffers transactions (§II-C);
+//  5. full buffers trigger individual-model fine-tuning, and the decoder
+//     update is shipped to the receiver edge, federated-learning style
+//     (§II-D).
+//
+// A System is deterministic given its Config.Seed.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/corpus"
+	"repro/internal/edge"
+	"repro/internal/fl"
+	"repro/internal/kb"
+	"repro/internal/mat"
+	"repro/internal/netsim"
+	"repro/internal/nn"
+	"repro/internal/selection"
+	"repro/internal/semantic"
+	"repro/internal/trace"
+)
+
+// Selector policy names accepted by Config.Selector.
+const (
+	SelectorOracle     = "oracle"
+	SelectorStatic     = "static"
+	SelectorNaiveBayes = "naivebayes"
+	SelectorSticky     = "sticky"
+	SelectorQLearn     = "qlearn"
+	SelectorUCB        = "ucb"
+)
+
+// Config parameterizes a System. Zero fields select documented defaults.
+type Config struct {
+	// Codec sets codec hyper-parameters for all general models.
+	Codec semantic.Config
+
+	// SenderCacheBytes / ReceiverCacheBytes size the edge model caches;
+	// 0 sizes each cache to hold every general model plus eight
+	// individual models.
+	SenderCacheBytes   int64
+	ReceiverCacheBytes int64
+	// Policy names the cache eviction policy ("lru", "fifo", "lfu",
+	// "gdsf"; default "lru").
+	Policy string
+	// PinGeneral pins general models in the edge caches once fetched.
+	PinGeneral bool
+	// CloudLink is the edge-to-cloud link for model fetches (default
+	// 40 ms, 200 Mbps).
+	CloudLink netsim.Link
+	// EdgeLink is the edge-to-edge link carrying decoder updates
+	// (default 10 ms, 100 Mbps).
+	EdgeLink netsim.Link
+	// ComputePerToken is the per-token semantic compute cost (default
+	// 200 µs).
+	ComputePerToken time.Duration
+
+	// SNRdB is the physical channel signal-to-noise ratio (default 12).
+	SNRdB float64
+	// Rayleigh selects Rayleigh fading instead of pure AWGN.
+	Rayleigh bool
+	// QuantBits is the feature quantization width (default 3).
+	QuantBits int
+	// CodeName names the channel code ("hamming74", "rep3", "rep5",
+	// "none"; default "hamming74").
+	CodeName string
+	// ModName names the modulation ("bpsk", "qpsk", "16qam"; default
+	// "bpsk").
+	ModName string
+	// InterleaveDepth enables block interleaving of coded bits when > 1;
+	// useful against burst errors under Rayleigh fading.
+	InterleaveDepth int
+	// SymbolRateHz converts channel symbols to air time (default 1e6).
+	SymbolRateHz float64
+
+	// Selector names the model-selection policy (default "naivebayes").
+	Selector string
+	// StaticDomain is the fixed choice for the "static" selector.
+	StaticDomain int
+
+	// BufferThreshold triggers individual-model updates (default 32).
+	BufferThreshold int
+	// UpdateEpochs is the fine-tuning pass count per update (default 3).
+	UpdateEpochs int
+	// Compress selects decoder-update compression (default lossless).
+	Compress nn.CompressOptions
+	// DisableAutoUpdate turns off automatic update processing inside
+	// Transmit; callers then invoke ProcessUpdate explicitly.
+	DisableAutoUpdate bool
+
+	// Seed drives every random component (default 1).
+	Seed uint64
+
+	// Pretrained supplies ready general codecs (one per corpus domain, in
+	// domain order), skipping pretraining. The experiment harness uses it
+	// to share one training run across many system instances. Codecs are
+	// cloned per system so instances stay independent.
+	Pretrained []*semantic.Codec
+}
+
+// withDefaults returns cfg with zero fields replaced.
+func (cfg Config) withDefaults() Config {
+	if cfg.Policy == "" {
+		cfg.Policy = "lru"
+	}
+	if cfg.CloudLink == (netsim.Link{}) {
+		cfg.CloudLink = netsim.Link{Latency: 40 * time.Millisecond, BandwidthBps: 200e6}
+	}
+	if cfg.EdgeLink == (netsim.Link{}) {
+		cfg.EdgeLink = netsim.Link{Latency: 10 * time.Millisecond, BandwidthBps: 100e6}
+	}
+	if cfg.SNRdB == 0 {
+		cfg.SNRdB = 12
+	}
+	if cfg.QuantBits == 0 {
+		cfg.QuantBits = 3
+	}
+	if cfg.CodeName == "" {
+		cfg.CodeName = "hamming74"
+	}
+	if cfg.ModName == "" {
+		cfg.ModName = "bpsk"
+	}
+	if cfg.SymbolRateHz == 0 {
+		cfg.SymbolRateHz = 1e6
+	}
+	if cfg.Selector == "" {
+		cfg.Selector = SelectorNaiveBayes
+	}
+	if cfg.BufferThreshold == 0 {
+		cfg.BufferThreshold = 32
+	}
+	if cfg.UpdateEpochs == 0 {
+		cfg.UpdateEpochs = 3
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return cfg
+}
+
+// newCode builds a channel code by name.
+func newCode(name string) (channel.Code, error) {
+	switch name {
+	case "hamming74":
+		return channel.Hamming74{}, nil
+	case "rep3":
+		return channel.Repetition{N: 3}, nil
+	case "rep5":
+		return channel.Repetition{N: 5}, nil
+	case "none":
+		return channel.Identity{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown channel code %q", name)
+	}
+}
+
+// newModulation builds a modulation by name.
+func newModulation(name string) (channel.Modulation, error) {
+	switch name {
+	case "bpsk":
+		return channel.BPSK{}, nil
+	case "qpsk":
+		return channel.QPSK{}, nil
+	case "16qam":
+		return channel.QAM16{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown modulation %q", name)
+	}
+}
+
+// System is a running two-edge semantic communication deployment.
+type System struct {
+	cfg Config
+
+	Corpus   *corpus.Corpus
+	Cloud    *kb.Registry
+	Sender   *edge.Server
+	Receiver *edge.Server
+	Generals []*semantic.Codec
+
+	nb        *selection.NaiveBayes
+	selectors *selection.PerUser
+	oracle    bool
+
+	link         channel.FeatureLink
+	symbolRateHz float64
+	edgeLink     netsim.Link
+
+	// Aggregate counters.
+	syncBytes   int64
+	syncCount   int
+	syncLatency time.Duration
+}
+
+// NewSystem pretrains the general models, registers them in the cloud,
+// boots both edge servers and the selection policy, and returns the ready
+// system.
+func NewSystem(cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	corp := corpus.Build()
+	var generals []*semantic.Codec
+	if len(cfg.Pretrained) == len(corp.Domains) {
+		generals = make([]*semantic.Codec, len(cfg.Pretrained))
+		for i, c := range cfg.Pretrained {
+			generals[i] = c.Clone()
+		}
+	} else {
+		codecCfg := cfg.Codec
+		if codecCfg.Seed == 0 {
+			codecCfg.Seed = cfg.Seed
+		}
+		generals = semantic.PretrainAll(corp, codecCfg)
+	}
+
+	cloud := kb.NewRegistry()
+	var generalBytes int64
+	for i, d := range corp.Domains {
+		m := &kb.Model{Key: kb.GeneralKey(d.Name, kb.RoleCodec), Version: 1, Codec: generals[i]}
+		cloud.Put(m)
+		generalBytes += m.SizeBytes()
+	}
+	perModel := generalBytes / int64(len(corp.Domains))
+	defaultCache := generalBytes + 8*perModel
+	if cfg.SenderCacheBytes == 0 {
+		cfg.SenderCacheBytes = defaultCache
+	}
+	if cfg.ReceiverCacheBytes == 0 {
+		cfg.ReceiverCacheBytes = defaultCache
+	}
+
+	mkEdge := func(name string, capacity int64) (*edge.Server, error) {
+		policy, ok := newPolicy(cfg.Policy)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown cache policy %q", cfg.Policy)
+		}
+		return edge.New(edge.Config{
+			Name:            name,
+			CacheCapacity:   capacity,
+			Policy:          policy,
+			Uplink:          cfg.CloudLink,
+			ComputePerToken: cfg.ComputePerToken,
+			PinGeneral:      cfg.PinGeneral,
+			BufferThreshold: cfg.BufferThreshold,
+		}, cloud)
+	}
+	sender, err := mkEdge("edge-sender", cfg.SenderCacheBytes)
+	if err != nil {
+		return nil, err
+	}
+	receiver, err := mkEdge("edge-receiver", cfg.ReceiverCacheBytes)
+	if err != nil {
+		return nil, err
+	}
+
+	code, err := newCode(cfg.CodeName)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.InterleaveDepth > 1 {
+		code = channel.InterleavedCode{Inner: code, IV: channel.Interleaver{Depth: cfg.InterleaveDepth}}
+	}
+	mod, err := newModulation(cfg.ModName)
+	if err != nil {
+		return nil, err
+	}
+	rng := mat.NewRNG(cfg.Seed ^ 0x5eed)
+	var ch channel.Channel
+	if cfg.Rayleigh {
+		ch = &channel.Rayleigh{SNRdB: cfg.SNRdB, Rng: rng.Split()}
+	} else {
+		ch = &channel.AWGN{SNRdB: cfg.SNRdB, Rng: rng.Split()}
+	}
+	link := channel.FeatureLink{
+		Quant: channel.Quantizer{Bits: cfg.QuantBits, Lo: -1, Hi: 1},
+		Code:  code,
+		Mod:   mod,
+		Ch:    ch,
+	}
+
+	s := &System{
+		cfg:          cfg,
+		Corpus:       corp,
+		Cloud:        cloud,
+		Sender:       sender,
+		Receiver:     receiver,
+		Generals:     generals,
+		link:         link,
+		symbolRateHz: cfg.SymbolRateHz,
+		edgeLink:     cfg.EdgeLink,
+	}
+	if err := s.initSelectors(rng); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// newPolicy mirrors cache.NewPolicy without exporting the dependency to
+// callers of this package.
+func newPolicy(name string) (edgePolicy, bool) {
+	return cachePolicyByName(name)
+}
+
+// initSelectors trains the shared classifier and builds the per-user
+// selector family.
+func (s *System) initSelectors(rng *mat.RNG) error {
+	cfg := s.cfg
+	if cfg.Selector == SelectorOracle {
+		s.oracle = true
+		return nil
+	}
+	s.nb = selection.TrainNaiveBayes(s.Corpus, 150, cfg.Seed^0xbead)
+	n := len(s.Corpus.Domains)
+	var factory func() selection.Selector
+	switch cfg.Selector {
+	case SelectorStatic:
+		factory = func() selection.Selector { return &selection.Static{DomainIndex: cfg.StaticDomain} }
+	case SelectorNaiveBayes:
+		factory = func() selection.Selector { return s.nb }
+	case SelectorSticky:
+		factory = func() selection.Selector { return selection.NewSticky(s.nb, 0) }
+	case SelectorQLearn:
+		factory = func() selection.Selector { return selection.NewQLearn(s.nb, n, rng.Split()) }
+	case SelectorUCB:
+		factory = func() selection.Selector { return selection.NewUCB(s.nb, n) }
+	default:
+		return fmt.Errorf("core: unknown selector %q", cfg.Selector)
+	}
+	s.selectors = selection.NewPerUser(factory)
+	return nil
+}
+
+// Result reports one end-to-end semantic transmission.
+type Result struct {
+	// Req is the originating request.
+	Req trace.Request
+	// SelectedDomain is the model-selection outcome.
+	SelectedDomain int
+	// CorrectSelection reports SelectedDomain == true domain.
+	CorrectSelection bool
+	// RestoredWords is the receiver's restored message.
+	RestoredWords []string
+	// CanonicalWords renders the ground-truth meaning.
+	CanonicalWords []string
+	// WordAccuracy compares restored to canonical words.
+	WordAccuracy float64
+	// Similarity is the graded semantic fidelity in [0,1].
+	Similarity float64
+	// Mismatch is the sender-side decoder-copy estimate.
+	Mismatch float64
+	// PayloadBytes is the semantic payload size on the air.
+	PayloadBytes int
+	// Symbols is the channel symbol count.
+	Symbols int
+	// Latency is the end-to-end message latency (fetch + compute + air
+	// time + propagation).
+	Latency time.Duration
+	// EncCacheHit / DecCacheHit report model-cache hits on each edge.
+	EncCacheHit bool
+	DecCacheHit bool
+	// UsedIndividual reports whether the sender used a user-specific
+	// model.
+	UsedIndividual bool
+	// UpdateFired reports that this transmission triggered an
+	// individual-model update; UpdateBytes is its wire cost.
+	UpdateFired bool
+	UpdateBytes int
+}
+
+// Transmit runs one message through the full pipeline.
+func (s *System) Transmit(req trace.Request) (*Result, error) {
+	msg := req.Msg
+	// Step 1: model selection on the sender edge.
+	var selected int
+	var sel selection.Selector
+	if s.oracle {
+		selected = msg.DomainIndex
+	} else {
+		sel = s.selectors.For(req.User)
+		selected = sel.Select(msg.Words)
+	}
+	res, decoded, err := s.transmitSelected(req.User, msg.Words, selected, sel)
+	if err != nil {
+		return nil, err
+	}
+	res.Req = req
+	res.CorrectSelection = selected == msg.DomainIndex
+	s.scoreResult(res, decoded)
+	return res, nil
+}
+
+// TransmitText runs live text (no ground truth) through the pipeline: the
+// daemon's entry point. Fidelity fields that require ground truth stay
+// zero; the sender-side Mismatch estimate is still populated. The oracle
+// selector cannot serve live text.
+func (s *System) TransmitText(user string, words []string) (*Result, error) {
+	if s.oracle {
+		return nil, errors.New("core: oracle selector requires ground-truth requests")
+	}
+	sel := s.selectors.For(user)
+	selected := sel.Select(words)
+	res, _, err := s.transmitSelected(user, words, selected, sel)
+	if err != nil {
+		return nil, err
+	}
+	res.Req = trace.Request{User: user, Msg: corpus.Message{
+		DomainIndex: selected,
+		DomainName:  s.Corpus.Domains[selected].Name,
+		Words:       words,
+	}}
+	return res, nil
+}
+
+// transmitSelected runs pipeline steps 2-6 for an already-selected domain.
+// It returns the partially scored result and the decoded concepts.
+func (s *System) transmitSelected(user string, words []string, selected int, sel selection.Selector) (*Result, []int, error) {
+	domain := s.Corpus.Domains[selected].Name
+
+	// Step 2: sender-side semantic encoding.
+	enc, err := s.Sender.Encode(domain, user, words)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Step 3: physical channel.
+	rxFeats, stats := s.link.Send(enc.Features, enc.Model.Codec.FeatureDim())
+	airTime := time.Duration(float64(stats.Symbols) / s.symbolRateHz * float64(time.Second))
+	airTime += s.edgeLink.Latency
+
+	// Step 4: receiver-side semantic decoding.
+	dec, err := s.Receiver.Decode(domain, user, rxFeats)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Step 5: sender-side mismatch via decoder copy, buffered.
+	tx, ready, err := s.Sender.RecordTransaction(domain, user, words)
+	if err != nil {
+		return nil, nil, err
+	}
+	if sel != nil {
+		sel.Feedback(1 - tx.Mismatch())
+	}
+
+	res := &Result{
+		SelectedDomain: selected,
+		RestoredWords:  dec.Words,
+		Mismatch:       tx.Mismatch(),
+		PayloadBytes:   stats.PayloadBytes(),
+		Symbols:        stats.Symbols,
+		Latency:        enc.FetchLatency + enc.ComputeLatency + airTime + dec.FetchLatency + dec.ComputeLatency,
+		EncCacheHit:    enc.CacheHit,
+		DecCacheHit:    dec.CacheHit,
+		UsedIndividual: enc.Individual,
+	}
+
+	// Step 6: update process when the buffer is full.
+	if ready && !s.cfg.DisableAutoUpdate {
+		bytes, err := s.ProcessUpdate(domain, user)
+		if err == nil {
+			res.UpdateFired = true
+			res.UpdateBytes = bytes
+		}
+	}
+	return res, dec.Concepts, nil
+}
+
+// scoreResult fills the fidelity metrics against ground truth.
+func (s *System) scoreResult(res *Result, decoded []int) {
+	msg := res.Req.Msg
+	trueDomain := s.Corpus.Domains[msg.DomainIndex]
+	canonical := make([]string, len(msg.ConceptIDs))
+	for i, ci := range msg.ConceptIDs {
+		canonical[i] = trueDomain.Canonical(ci)
+	}
+	res.CanonicalWords = canonical
+	res.WordAccuracy = semantic.WordAccuracy(res.RestoredWords, canonical)
+	if res.CorrectSelection {
+		res.Similarity = semantic.Similarity(s.Generals[msg.DomainIndex], decoded, msg.ConceptIDs)
+	} else {
+		// Cross-domain decoding has no shared concept space; fall back to
+		// surface-level fidelity.
+		res.Similarity = res.WordAccuracy
+	}
+}
+
+// ProcessUpdate runs the update process for (domain, user) and ships the
+// decoder update across the edge link, returning the payload size.
+func (s *System) ProcessUpdate(domain, user string) (int, error) {
+	upd, err := s.Sender.RunUpdate(domain, user, fl.UpdateConfig{
+		Epochs:   s.cfg.UpdateEpochs,
+		Compress: s.cfg.Compress,
+		Seed:     s.cfg.Seed ^ 0xfade,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := s.Receiver.ApplyRemoteUpdate(upd); err != nil {
+		return 0, err
+	}
+	s.syncBytes += int64(upd.Stats.PayloadBytes)
+	s.syncCount++
+	s.syncLatency += s.edgeLink.TransferTime(int64(upd.Stats.PayloadBytes))
+	return upd.Stats.PayloadBytes, nil
+}
+
+// SyncBytes returns the cumulative decoder-update traffic.
+func (s *System) SyncBytes() int64 { return s.syncBytes }
+
+// SyncCount returns the number of decoder updates shipped.
+func (s *System) SyncCount() int { return s.syncCount }
+
+// RunWorkload transmits every request in w, returning per-message results.
+func (s *System) RunWorkload(w *trace.Workload) ([]Result, error) {
+	out := make([]Result, 0, len(w.Requests))
+	for _, req := range w.Requests {
+		res, err := s.Transmit(req)
+		if err != nil {
+			return out, fmt.Errorf("core: request %d: %w", req.Seq, err)
+		}
+		out = append(out, *res)
+	}
+	return out, nil
+}
+
+// errNoResults reports summarizing an empty result set.
+var errNoResults = errors.New("core: no results to summarize")
+
+// Summary aggregates a result set.
+type Summary struct {
+	Messages          int
+	MeanWordAccuracy  float64
+	MeanSimilarity    float64
+	MeanMismatch      float64
+	SelectionAccuracy float64
+	MeanPayloadBytes  float64
+	MeanLatency       time.Duration
+	P95Latency        time.Duration
+	IndividualShare   float64
+	Updates           int
+	UpdateBytes       int64
+}
+
+// Summarize reduces results to aggregate metrics.
+func Summarize(results []Result) (Summary, error) {
+	if len(results) == 0 {
+		return Summary{}, errNoResults
+	}
+	var sum Summary
+	latencies := make([]float64, 0, len(results))
+	for i := range results {
+		r := &results[i]
+		sum.MeanWordAccuracy += r.WordAccuracy
+		sum.MeanSimilarity += r.Similarity
+		sum.MeanMismatch += r.Mismatch
+		if r.CorrectSelection {
+			sum.SelectionAccuracy++
+		}
+		sum.MeanPayloadBytes += float64(r.PayloadBytes)
+		sum.MeanLatency += r.Latency
+		latencies = append(latencies, float64(r.Latency))
+		if r.UsedIndividual {
+			sum.IndividualShare++
+		}
+		if r.UpdateFired {
+			sum.Updates++
+			sum.UpdateBytes += int64(r.UpdateBytes)
+		}
+	}
+	n := float64(len(results))
+	sum.Messages = len(results)
+	sum.MeanWordAccuracy /= n
+	sum.MeanSimilarity /= n
+	sum.MeanMismatch /= n
+	sum.SelectionAccuracy /= n
+	sum.MeanPayloadBytes /= n
+	sum.MeanLatency /= time.Duration(len(results))
+	sum.IndividualShare /= n
+	sum.P95Latency = percentileDuration(latencies, 95)
+	return sum, nil
+}

@@ -1,0 +1,323 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/semantic"
+	"repro/internal/trace"
+)
+
+// testConfig keeps system tests fast while remaining accurate enough for
+// the behavioral assertions.
+func testConfig() Config {
+	return Config{
+		Codec: semantic.Config{
+			EmbedDim:   12,
+			FeatureDim: 6,
+			HiddenDim:  16,
+			Epochs:     3,
+			Sentences:  400,
+		},
+		Seed: 7,
+	}
+}
+
+var (
+	sysOnce sync.Once
+	sysInst *System
+	sysErr  error
+)
+
+// sharedSystem builds one oracle-selector system reused by read-mostly
+// tests. Tests that mutate state (updates, cache churn) build their own.
+func sharedSystem(t *testing.T) *System {
+	t.Helper()
+	sysOnce.Do(func() {
+		cfg := testConfig()
+		cfg.Selector = SelectorOracle
+		cfg.PinGeneral = true
+		sysInst, sysErr = NewSystem(cfg)
+	})
+	if sysErr != nil {
+		t.Fatal(sysErr)
+	}
+	return sysInst
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.Selector = "telepathy"
+	if _, err := NewSystem(cfg); err == nil {
+		t.Fatal("unknown selector accepted")
+	}
+	cfg = testConfig()
+	cfg.Policy = "belady"
+	if _, err := NewSystem(cfg); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	cfg = testConfig()
+	cfg.CodeName = "turbo"
+	if _, err := NewSystem(cfg); err == nil {
+		t.Fatal("unknown code accepted")
+	}
+}
+
+func TestTransmitEndToEnd(t *testing.T) {
+	s := sharedSystem(t)
+	w := trace.Generate(s.Corpus, trace.Config{Users: 2, Messages: 30, Seed: 11})
+	results, err := s.RunWorkload(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Summarize(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Messages != 30 {
+		t.Fatalf("messages = %d", sum.Messages)
+	}
+	// Oracle selection, trained codecs, 12 dB with Hamming: high fidelity.
+	if sum.MeanWordAccuracy < 0.75 {
+		t.Fatalf("word accuracy = %v, want >= 0.75", sum.MeanWordAccuracy)
+	}
+	if sum.MeanSimilarity < sum.MeanWordAccuracy {
+		t.Fatalf("similarity (%v) should be >= word accuracy (%v)",
+			sum.MeanSimilarity, sum.MeanWordAccuracy)
+	}
+	if sum.SelectionAccuracy != 1 {
+		t.Fatalf("oracle selection accuracy = %v", sum.SelectionAccuracy)
+	}
+	if sum.MeanPayloadBytes <= 0 {
+		t.Fatal("no payload accounted")
+	}
+	for _, r := range results {
+		if r.Latency <= 0 {
+			t.Fatal("non-positive latency")
+		}
+		if len(r.RestoredWords) != len(r.Req.Msg.Words) {
+			t.Fatal("restored length mismatch")
+		}
+	}
+}
+
+func TestSemanticPayloadSmallerThanRawText(t *testing.T) {
+	s := sharedSystem(t)
+	w := trace.Generate(s.Corpus, trace.Config{Users: 1, Messages: 40, Seed: 13})
+	results, err := s.RunWorkload(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var semBytes, rawBytes float64
+	for _, r := range results {
+		semBytes += float64(r.PayloadBytes)
+		rawBytes += float64(len(r.Req.Msg.Text()))
+	}
+	if semBytes >= rawBytes {
+		t.Fatalf("semantic payload (%v) not smaller than raw text (%v)", semBytes, rawBytes)
+	}
+}
+
+func TestColdCachePaysFetchLatency(t *testing.T) {
+	cfg := testConfig()
+	cfg.Selector = SelectorOracle
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.Generate(s.Corpus, trace.Config{Users: 1, Messages: 10, Seed: 17})
+	results, err := s.RunWorkload(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].EncCacheHit {
+		t.Fatal("first message should miss the sender cache")
+	}
+	// Fetch latency dominates the cold message.
+	if results[0].Latency < 40*time.Millisecond {
+		t.Fatalf("cold latency = %v, below cloud link latency", results[0].Latency)
+	}
+	// Later same-domain messages should be far cheaper.
+	last := results[len(results)-1]
+	if last.Latency >= results[0].Latency {
+		t.Fatalf("warm latency %v not below cold %v", last.Latency, results[0].Latency)
+	}
+}
+
+func TestUpdateProcessFiresAndHelps(t *testing.T) {
+	cfg := testConfig()
+	cfg.Selector = SelectorOracle
+	cfg.PinGeneral = true
+	cfg.BufferThreshold = 24
+	cfg.UpdateEpochs = 4
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single user with a strong idiolect in a single domain.
+	w := trace.Generate(s.Corpus, trace.Config{
+		Users: 1, Messages: 120, Seed: 23,
+		IdiolectStrength: 0.5, MeanRunLength: 1e9, // stay in one domain
+	})
+	results, err := s.RunWorkload(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	updates := 0
+	for _, r := range results {
+		if r.UpdateFired {
+			updates++
+			if r.UpdateBytes <= 0 {
+				t.Fatal("update fired with zero bytes")
+			}
+		}
+	}
+	if updates == 0 {
+		t.Fatal("no updates fired in 120 messages with threshold 24")
+	}
+	if s.SyncCount() != updates || s.SyncBytes() <= 0 {
+		t.Fatalf("sync counters inconsistent: count %d vs %d", s.SyncCount(), updates)
+	}
+	// Personalization must reduce mismatch: compare first vs last quarter.
+	quarter := len(results) / 4
+	var early, late float64
+	for i := 0; i < quarter; i++ {
+		early += results[i].Mismatch
+		late += results[len(results)-1-i].Mismatch
+	}
+	if late >= early {
+		t.Fatalf("mismatch did not decrease after updates: early %v late %v", early, late)
+	}
+	// Individual models must be in play by the end.
+	if !results[len(results)-1].UsedIndividual {
+		t.Fatal("individual model not used after updates")
+	}
+}
+
+func TestSelectorLearnsFromMismatchReward(t *testing.T) {
+	cfg := testConfig()
+	cfg.Selector = SelectorQLearn
+	cfg.PinGeneral = true
+	cfg.DisableAutoUpdate = true
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.Generate(s.Corpus, trace.Config{Users: 1, Messages: 800, Seed: 29})
+	results, err := s.RunWorkload(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After enough reward-driven updates the policy must operate far
+	// above chance (1/8) in the second half of the stream.
+	half := len(results) / 2
+	lastOK := 0
+	for _, r := range results[half:] {
+		if r.CorrectSelection {
+			lastOK++
+		}
+	}
+	lateAcc := float64(lastOK) / float64(half)
+	if lateAcc < 0.5 {
+		t.Fatalf("late selection accuracy = %v, want >= 0.5 (chance is 0.125)", lateAcc)
+	}
+}
+
+func TestWrongSelectionScoresLow(t *testing.T) {
+	cfg := testConfig()
+	cfg.Selector = SelectorStatic
+	cfg.StaticDomain = 0 // always "it"
+	cfg.PinGeneral = true
+	cfg.DisableAutoUpdate = true
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.Generate(s.Corpus, trace.Config{Users: 2, Messages: 100, Seed: 31})
+	results, err := s.RunWorkload(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var right, wrong int
+	var rightAcc, wrongAcc float64
+	for _, r := range results {
+		if r.CorrectSelection {
+			right++
+			rightAcc += r.WordAccuracy
+		} else {
+			wrong++
+			wrongAcc += r.WordAccuracy
+		}
+	}
+	if right == 0 || wrong == 0 {
+		t.Skipf("workload lacked both conditions: right=%d wrong=%d", right, wrong)
+	}
+	if rightAcc/float64(right) <= wrongAcc/float64(wrong) {
+		t.Fatalf("wrong-domain selection should hurt fidelity: right %v wrong %v",
+			rightAcc/float64(right), wrongAcc/float64(wrong))
+	}
+}
+
+func TestCompressedUpdatesSmaller(t *testing.T) {
+	run := func(compress nn.CompressOptions) int64 {
+		cfg := testConfig()
+		cfg.Selector = SelectorOracle
+		cfg.PinGeneral = true
+		cfg.BufferThreshold = 24
+		cfg.Compress = compress
+		s, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := trace.Generate(s.Corpus, trace.Config{
+			Users: 1, Messages: 60, Seed: 37,
+			IdiolectStrength: 0.4, MeanRunLength: 1e9,
+		})
+		if _, err := s.RunWorkload(w); err != nil {
+			t.Fatal(err)
+		}
+		return s.SyncBytes()
+	}
+	dense := run(nn.CompressOptions{})
+	sparse := run(nn.CompressOptions{TopKFrac: 0.1, Int8: true})
+	if dense == 0 || sparse == 0 {
+		t.Fatal("no sync traffic recorded")
+	}
+	if sparse >= dense/4 {
+		t.Fatalf("top-10%%+int8 sync (%d) not much smaller than dense (%d)", sparse, dense)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err == nil {
+		t.Fatal("empty summarize should error")
+	}
+}
+
+func TestSystemDeterminism(t *testing.T) {
+	run := func() Summary {
+		cfg := testConfig()
+		cfg.Selector = SelectorOracle
+		cfg.PinGeneral = true
+		s, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := trace.Generate(s.Corpus, trace.Config{Users: 2, Messages: 50, Seed: 41})
+		results, err := s.RunWorkload(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := Summarize(results)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("system not deterministic:\n%+v\n%+v", a, b)
+	}
+}

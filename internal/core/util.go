@@ -1,0 +1,22 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/metrics"
+)
+
+// edgePolicy aliases the cache policy interface used when wiring edges.
+type edgePolicy = cache.Policy
+
+// cachePolicyByName resolves an eviction policy name.
+func cachePolicyByName(name string) (edgePolicy, bool) {
+	return cache.NewPolicy(name)
+}
+
+// percentileDuration returns the p-th percentile of float64-encoded
+// durations.
+func percentileDuration(values []float64, p float64) time.Duration {
+	return time.Duration(metrics.Percentile(values, p))
+}

@@ -1,0 +1,325 @@
+// Package corpus builds the synthetic domain-oriented language on which the
+// semantic-communication system operates.
+//
+// The paper's knowledge bases are domain-specialized: the same surface word
+// can carry different meanings in different domains (its example: "bus" is a
+// vehicle in daily life but an interconnect in computer architecture). This
+// package makes that structure explicit and controllable:
+//
+//   - a Concept is a unit of meaning with one canonical surface form and
+//     zero or more rarer synonyms (the "tail" surfaces);
+//   - a Domain is a set of concepts (shared function-word concepts plus
+//     domain-specific content concepts);
+//   - polysemous surfaces appear in several domains mapped to different
+//     concepts;
+//   - an Idiolect models a user's personal preference for rare synonyms,
+//     which is what the user-specific individual models of the paper must
+//     learn.
+package corpus
+
+// Concept is one unit of meaning within a domain.
+type Concept struct {
+	// Key uniquely identifies the concept across all domains, e.g.
+	// "it:server" or "fn:the".
+	Key string
+	// Surfaces lists the words that express this concept; Surfaces[0] is
+	// the canonical form used for restoration.
+	Surfaces []string
+	// Function marks closed-class words shared across domains.
+	Function bool
+	// PolyIdx is the index in Surfaces of a curated polysemous surface
+	// (e.g. "bus"), or -1 when the concept has none. Polysemous surfaces
+	// are everyday words, so the generator emits them far more often than
+	// ordinary tail synonyms.
+	PolyIdx int
+}
+
+// Canonical returns the canonical surface form.
+func (c *Concept) Canonical() string { return c.Surfaces[0] }
+
+// domainSpec is the static definition a Domain is built from.
+type domainSpec struct {
+	name     string
+	concepts [][]string // each entry: canonical followed by synonyms
+}
+
+// functionWords are closed-class words shared by every domain; each is its
+// own concept and never has synonyms.
+var functionWords = []string{
+	"the", "a", "an", "is", "are", "was", "to", "of", "in", "on",
+	"at", "with", "for", "and", "or", "but", "this", "that", "it", "we",
+	"you", "they", "has", "have", "will", "can", "new", "more", "very", "now",
+}
+
+// c builds a concept surface list: canonical followed by rare synonyms.
+func c(surfaces ...string) []string { return surfaces }
+
+// domainSpecs defines the eight built-in domains.
+//
+// Synonyms after the canonical form are the rare "tail" surfaces that
+// general models see infrequently during pretraining. The curated
+// polysemous surfaces (bus, virus, cell, stream, court, pitch, driver,
+// bank, patch, mouse) each appear in exactly two domains under different
+// concepts — reproducing the paper's "bus" example. A handful of natural
+// accidental polysemes (e.g. "summit", "season", "game") also exist across
+// domains; within a single domain every surface maps to exactly one
+// concept, an invariant enforced by Build.
+var domainSpecs = []domainSpec{
+	{
+		name: "it",
+		concepts: [][]string{
+			c("server", "host", "mainframe"),
+			c("network", "lan"),
+			c("database", "datastore"),
+			c("compiler", "toolchain"),
+			c("kernel"),
+			c("protocol", "handshake"),
+			c("packet", "datagram", "frame"),
+			c("memory", "ram"),
+			c("code", "program", "source"),
+			c("bug", "defect", "glitch"),
+			c("cloud"),
+			c("processor", "cpu", "chip"),
+			c("firewall"),
+			c("router", "gateway"),
+			c("algorithm", "heuristic"),
+			c("encryption", "cipher"),
+			c("latency", "lag"),
+			c("bandwidth", "throughput"),
+			c("software", "application"),
+			c("hardware"),
+			c("interface", "api"),
+			c("thread", "goroutine"),
+			c("interconnect", "bus", "backplane"), // polysemy: bus
+			c("malware", "virus", "trojan"),       // polysemy: virus
+			c("basestation", "cell", "antenna"),   // polysemy: cell
+			c("datastream", "stream", "feed"),     // polysemy: stream
+			c("module", "driver", "plugin"),       // polysemy: driver
+			c("update", "patch", "hotfix"),        // polysemy: patch
+			c("pointer", "mouse", "cursor"),       // polysemy: mouse
+		},
+	},
+	{
+		name: "medical",
+		concepts: [][]string{
+			c("doctor", "physician", "medic"),
+			c("patient", "case"),
+			c("hospital", "clinic", "ward"),
+			c("treatment", "therapy", "regimen"),
+			c("diagnosis", "prognosis"),
+			c("surgery", "operation"),
+			c("medicine", "drug", "medication"),
+			c("vaccine", "shot", "immunization"),
+			c("symptom", "sign"),
+			c("disease", "illness", "condition"),
+			c("nurse", "caregiver"),
+			c("blood", "plasma"),
+			c("heart", "cardiac"),
+			c("brain", "neural"),
+			c("infection", "sepsis"),
+			c("recovery", "healing"),
+			c("dose", "dosage"),
+			c("trial", "study"),
+			c("scan", "imaging", "mri"),
+			c("gene", "dna"),
+			c("pathogen", "virus", "microbe"),  // polysemy: virus
+			c("biocell", "cell", "tissue"),     // polysemy: cell
+			c("dressing", "patch", "bandage"),  // polysemy: patch
+			c("labmouse", "mouse", "specimen"), // polysemy: mouse
+			c("fracture", "break"),
+			c("allergy", "reaction"),
+		},
+	},
+	{
+		name: "news",
+		concepts: [][]string{
+			c("government", "administration", "cabinet"),
+			c("election", "vote", "ballot"),
+			c("president", "leader"),
+			c("parliament", "congress", "senate"),
+			c("policy", "legislation", "bill"),
+			c("economy", "gdp"),
+			c("protest", "demonstration", "rally"),
+			c("journalist", "reporter", "correspondent"),
+			c("investigation", "probe", "inquiry"),
+			c("scandal", "controversy"),
+			c("minister", "secretary"),
+			c("summit", "conference"),
+			c("treaty", "agreement", "accord"),
+			c("border", "frontier"),
+			c("crisis", "emergency"),
+			c("statement", "announcement", "remarks"),
+			c("campaign", "race"),
+			c("tribunal", "court", "judiciary"), // polysemy: court
+			c("reform", "overhaul"),
+			c("sanction", "embargo"),
+			c("diplomat", "envoy"),
+			c("headline", "story"),
+			c("region", "province"),
+			c("crime", "offense"),
+			c("verdict", "ruling", "judgment"),
+			c("debate", "hearing"),
+		},
+	},
+	{
+		name: "entertainment",
+		concepts: [][]string{
+			c("movie", "film", "feature"),
+			c("actor", "star", "performer"),
+			c("director", "filmmaker"),
+			c("album", "record", "lp"),
+			c("song", "track", "single"),
+			c("concert", "gig", "show"),
+			c("band", "group"),
+			c("festival", "premiere"),
+			c("award", "trophy", "prize"),
+			c("celebrity", "icon"),
+			c("studio", "label"),
+			c("script", "screenplay"),
+			c("drama", "thriller"),
+			c("comedy", "sitcom"),
+			c("audience", "fans", "crowd"),
+			c("review", "critique"),
+			c("ticket", "pass"),
+			c("stage", "venue"),
+			c("series", "season"),
+			c("trailer", "teaser"),
+			c("broadcast", "stream", "airing"), // polysemy: stream
+			c("proposal", "pitch"),             // polysemy: pitch
+			c("musician", "artist"),
+			c("genre", "style"),
+			c("boxoffice", "gross"),
+			c("soundtrack", "score"),
+		},
+	},
+	{
+		name: "sports",
+		concepts: [][]string{
+			c("team", "squad", "club"),
+			c("player", "athlete"),
+			c("coach", "manager", "trainer"),
+			c("game", "match", "fixture"),
+			c("goal", "score"),
+			c("league", "division"),
+			c("championship", "title", "cup"),
+			c("tournament", "playoff"),
+			c("stadium", "arena", "ground"),
+			c("season", "campaign"),
+			c("injury", "knock"),
+			c("transfer", "signing"),
+			c("referee", "official", "umpire"),
+			c("defense", "backline"),
+			c("offense", "attack"),
+			c("record", "milestone"),
+			c("fans", "supporters"),
+			c("training", "practice", "drills"),
+			c("victory", "win", "triumph"),
+			c("defeat", "loss"),
+			c("hardcourt", "court", "surface"), // polysemy: court
+			c("field", "pitch", "turf"),        // polysemy: pitch
+			c("racer", "driver", "pilot"),      // polysemy: driver
+			c("medal", "podium"),
+			c("contract", "deal"),
+			c("captain", "skipper"),
+		},
+	},
+	{
+		name: "finance",
+		concepts: [][]string{
+			c("market", "exchange", "bourse"),
+			c("shares", "stock", "equity"),
+			c("investor", "shareholder", "trader"),
+			c("profit", "earnings", "gains"),
+			c("revenue", "turnover", "sales"),
+			c("lender", "bank", "institution"), // polysemy: bank
+			c("loan", "credit", "mortgage"),
+			c("interest", "yield"),
+			c("inflation", "prices"),
+			c("currency", "dollar", "euro"),
+			c("bond", "debt", "treasury"),
+			c("fund", "portfolio"),
+			c("merger", "acquisition", "takeover"),
+			c("regulator", "watchdog"),
+			c("tax", "levy", "duty"),
+			c("budget", "spending"),
+			c("recession", "downturn", "slump"),
+			c("growth", "expansion"),
+			c("dividend", "payout"),
+			c("startup", "venture"),
+			c("analyst", "economist"),
+			c("asset", "holding"),
+			c("audit", "filing"),
+			c("forecast", "outlook", "guidance"),
+			c("capital", "liquidity"),
+			c("broker", "dealer"),
+		},
+	},
+	{
+		name: "travel",
+		concepts: [][]string{
+			c("flight", "plane", "airline"),
+			c("hotel", "resort", "lodge"),
+			c("airport", "terminal"),
+			c("passport", "visa"),
+			c("tourist", "traveler", "visitor"),
+			c("beach", "coast", "shore"),
+			c("mountain", "peak", "summit"),
+			c("tour", "excursion", "trip"),
+			c("luggage", "baggage", "suitcase"),
+			c("booking", "reservation"),
+			c("guide", "itinerary"),
+			c("island", "archipelago"),
+			c("museum", "gallery"),
+			c("train", "railway", "rail"),
+			c("shuttle", "bus", "minibus"),      // polysemy: bus
+			c("riverbank", "bank", "waterside"), // polysemy: bank
+			c("cruise", "voyage", "crossing"),
+			c("destination", "getaway"),
+			c("fare", "airfare"),
+			c("map", "route"),
+			c("adventure", "trek", "hike"),
+			c("culture", "heritage"),
+			c("cuisine", "food"),
+			c("landmark", "monument"),
+			c("holiday", "vacation"),
+			c("customs", "immigration"),
+		},
+	},
+	{
+		name: "gaming",
+		concepts: [][]string{
+			c("videogame", "game"),
+			c("gamer", "player"),
+			c("console", "playstation", "xbox"),
+			c("level", "zone", "map"),
+			c("quest", "mission", "raid"),
+			c("character", "avatar", "hero"),
+			c("weapon", "loadout", "gear"),
+			c("multiplayer", "coop", "pvp"),
+			c("graphics", "visuals", "textures"),
+			c("developer", "dev"),
+			c("release", "launch"),
+			c("esports", "scene"),
+			c("controller", "gamepad", "joystick"),
+			c("lobby", "matchmaking"),
+			c("guild", "clan"),
+			c("achievement", "unlock"),
+			c("boss", "enemy", "mob"),
+			c("inventory", "loot"),
+			c("engine", "physics"),
+			c("speedrun", "glitchless"),
+			c("dlc", "addon"),
+			c("strategy", "tactics", "meta"),
+			c("leaderboard", "rank"),
+			c("stealth", "sniper"),
+			c("sandbox", "openworld"),
+			c("arcade", "retro"),
+		},
+	},
+}
+
+// PolysemousSurfaces returns the curated set of surfaces that carry a
+// different meaning in each of two domains.
+func PolysemousSurfaces() []string {
+	return []string{"bus", "virus", "cell", "stream", "court", "pitch", "driver", "bank", "patch", "mouse"}
+}

@@ -1,0 +1,310 @@
+// Package edge implements the semantic edge server of Fig. 1: it caches
+// domain-specialized general models and user-specific individual models,
+// fetches from the cloud origin on miss (paying transfer latency), runs
+// semantic encoding/decoding with simulated compute cost, records
+// transactions in per-user domain buffers via its decoder copy, and
+// triggers the individual-model update process.
+package edge
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/fl"
+	"repro/internal/kb"
+	"repro/internal/netsim"
+)
+
+// Config parameterizes an edge server.
+type Config struct {
+	// Name identifies the server (e.g. "edge-a").
+	Name string
+	// CacheCapacity is the model cache size in bytes.
+	CacheCapacity int64
+	// Policy is the cache eviction policy; nil selects LRU.
+	Policy cache.Policy
+	// Uplink is the link to the cloud origin used for model fetches.
+	Uplink netsim.Link
+	// ComputePerToken is the simulated semantic encode/decode cost per
+	// token; 0 selects 200µs.
+	ComputePerToken time.Duration
+	// PinGeneral pins domain-general models in the cache once fetched.
+	PinGeneral bool
+	// BufferThreshold is the per-user domain-buffer size that triggers an
+	// individual-model update; 0 selects 32.
+	BufferThreshold int
+}
+
+// Server is one semantic edge server. It is safe for concurrent use.
+type Server struct {
+	name            string
+	cache           *cache.Cache
+	origin          *kb.Registry
+	uplink          netsim.Link
+	computePerToken time.Duration
+	pinGeneral      bool
+	bufferThreshold int
+
+	mu       sync.Mutex
+	buffers  map[string]*fl.Buffer
+	versions map[string]int
+}
+
+// New builds an edge server backed by the given cloud origin registry.
+func New(cfg Config, origin *kb.Registry) (*Server, error) {
+	if origin == nil {
+		return nil, errors.New("edge: nil origin registry")
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = cache.NewLRU()
+	}
+	if cfg.ComputePerToken == 0 {
+		cfg.ComputePerToken = 200 * time.Microsecond
+	}
+	if cfg.BufferThreshold == 0 {
+		cfg.BufferThreshold = 32
+	}
+	c, err := cache.New(cfg.CacheCapacity, cfg.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("edge %s: %w", cfg.Name, err)
+	}
+	return &Server{
+		name:            cfg.Name,
+		cache:           c,
+		origin:          origin,
+		uplink:          cfg.Uplink,
+		computePerToken: cfg.ComputePerToken,
+		pinGeneral:      cfg.PinGeneral,
+		bufferThreshold: cfg.BufferThreshold,
+		buffers:         make(map[string]*fl.Buffer, 16),
+		versions:        make(map[string]int, 16),
+	}, nil
+}
+
+// Name returns the server name.
+func (s *Server) Name() string { return s.name }
+
+// CacheStats returns a snapshot of the model-cache counters.
+func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
+
+// ResetCacheStats zeroes the cache counters.
+func (s *Server) ResetCacheStats() { s.cache.ResetStats() }
+
+// Cache exposes the underlying model cache for inspection.
+func (s *Server) Cache() *cache.Cache { return s.cache }
+
+// bufferKey builds the buffers map key.
+func bufferKey(domain, user string) string { return user + "/" + domain }
+
+// AcquireResult reports how a codec was obtained.
+type AcquireResult struct {
+	// Model is the codec to use (individual if present, else general).
+	Model *kb.Model
+	// FetchLatency is the origin transfer time paid (0 on cache hit).
+	FetchLatency time.Duration
+	// CacheHit reports whether the model came from the local cache.
+	CacheHit bool
+	// Individual reports whether a user-specific model was used.
+	Individual bool
+}
+
+// AcquireCodec returns the codec for (domain, user): the user's individual
+// model when cached, otherwise the domain-general model, fetching it from
+// the cloud origin on miss and paying uplink transfer latency.
+func (s *Server) AcquireCodec(domain, user string) (AcquireResult, error) {
+	userKey := kb.UserKey(domain, user, kb.RoleCodec)
+	if user != "" && s.cache.Contains(userKey) {
+		if m, ok := s.cache.Get(userKey); ok {
+			return AcquireResult{Model: m, CacheHit: true, Individual: true}, nil
+		}
+	}
+	genKey := kb.GeneralKey(domain, kb.RoleCodec)
+	if m, ok := s.cache.Get(genKey); ok {
+		return AcquireResult{Model: m, CacheHit: true}, nil
+	}
+	m, ok := s.origin.Get(genKey)
+	if !ok {
+		return AcquireResult{}, fmt.Errorf("edge %s: origin has no model %s", s.name, genKey)
+	}
+	latency := s.uplink.TransferTime(m.SizeBytes())
+	if err := s.cache.Put(m, s.pinGeneral); err != nil {
+		return AcquireResult{}, fmt.Errorf("edge %s: cache %s: %w", s.name, genKey, err)
+	}
+	return AcquireResult{Model: m, FetchLatency: latency}, nil
+}
+
+// Personalize creates the user's individual codec as a clone of the
+// domain-general model (Fig. 1 step 2) and caches it. If an individual
+// model already exists it is returned unchanged.
+func (s *Server) Personalize(domain, user string) (*kb.Model, time.Duration, error) {
+	if user == "" {
+		return nil, 0, errors.New("edge: Personalize requires a user")
+	}
+	userKey := kb.UserKey(domain, user, kb.RoleCodec)
+	if s.cache.Contains(userKey) {
+		if m, ok := s.cache.Get(userKey); ok {
+			return m, 0, nil
+		}
+	}
+	acq, err := s.AcquireCodec(domain, "")
+	if err != nil {
+		return nil, 0, err
+	}
+	m := &kb.Model{Key: userKey, Version: 0, Codec: acq.Model.Codec.Clone()}
+	if err := s.cache.Put(m, false); err != nil {
+		return nil, 0, fmt.Errorf("edge %s: cache individual model: %w", s.name, err)
+	}
+	return m, acq.FetchLatency, nil
+}
+
+// EncodeResult is the outcome of sender-side semantic encoding.
+type EncodeResult struct {
+	AcquireResult
+	// Features are the per-token semantic feature vectors.
+	Features [][]float64
+	// ComputeLatency is the simulated encoding cost.
+	ComputeLatency time.Duration
+}
+
+// Encode runs semantic feature extraction for (domain, user) over words.
+func (s *Server) Encode(domain, user string, words []string) (EncodeResult, error) {
+	acq, err := s.AcquireCodec(domain, user)
+	if err != nil {
+		return EncodeResult{}, err
+	}
+	return EncodeResult{
+		AcquireResult:  acq,
+		Features:       acq.Model.Codec.EncodeWords(words),
+		ComputeLatency: time.Duration(len(words)) * s.computePerToken,
+	}, nil
+}
+
+// DecodeResult is the outcome of receiver-side semantic decoding.
+type DecodeResult struct {
+	AcquireResult
+	// Concepts are the decoded domain concepts.
+	Concepts []int
+	// Words are the restored canonical surface forms.
+	Words []string
+	// ComputeLatency is the simulated decoding cost.
+	ComputeLatency time.Duration
+}
+
+// Decode restores a message from received features for (domain, user).
+func (s *Server) Decode(domain, user string, feats [][]float64) (DecodeResult, error) {
+	acq, err := s.AcquireCodec(domain, user)
+	if err != nil {
+		return DecodeResult{}, err
+	}
+	concepts := acq.Model.Codec.DecodeFeatures(feats)
+	return DecodeResult{
+		AcquireResult:  acq,
+		Concepts:       concepts,
+		Words:          acq.Model.Codec.RestoreWords(concepts),
+		ComputeLatency: time.Duration(len(feats)) * s.computePerToken,
+	}, nil
+}
+
+// RecordTransaction performs the §II-C decoder-copy mismatch calculation on
+// the sender edge: it round-trips the message through the local codec,
+// derives ground-truth concepts from the domain KB, and stores the
+// transaction in the (user, domain) buffer. It returns the transaction and
+// whether the buffer has reached its update threshold.
+func (s *Server) RecordTransaction(domain, user string, words []string) (fl.Transaction, bool, error) {
+	acq, err := s.AcquireCodec(domain, user)
+	if err != nil {
+		return fl.Transaction{}, false, err
+	}
+	d := acq.Model.Codec.Domain()
+	tx := fl.Transaction{
+		SurfaceIDs: make([]int, len(words)),
+		ConceptIDs: make([]int, len(words)),
+	}
+	for i, w := range words {
+		tx.SurfaceIDs[i] = d.SurfaceID(w)
+		if ci, ok := d.ConceptOf(w); ok {
+			tx.ConceptIDs[i] = ci
+		} else {
+			tx.ConceptIDs[i] = -1 // out-of-domain word: always a mismatch
+		}
+	}
+	tx.Decoded = acq.Model.Codec.RoundTrip(words)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := bufferKey(domain, user)
+	buf, ok := s.buffers[key]
+	if !ok {
+		buf = fl.NewBuffer(domain, user, s.bufferThreshold)
+		s.buffers[key] = buf
+	}
+	buf.Add(tx)
+	return tx, buf.Ready(), nil
+}
+
+// Buffer returns the (user, domain) buffer, or nil if none exists yet.
+func (s *Server) Buffer(domain, user string) *fl.Buffer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buffers[bufferKey(domain, user)]
+}
+
+// RunUpdate executes the §II-D update process for (domain, user): it
+// ensures the individual model exists, fine-tunes it on the buffered
+// transactions, resets the buffer, and returns the decoder update to ship
+// to the receiver edge.
+func (s *Server) RunUpdate(domain, user string, cfg fl.UpdateConfig) (*fl.Update, error) {
+	s.mu.Lock()
+	buf := s.buffers[bufferKey(domain, user)]
+	s.mu.Unlock()
+	if buf == nil || buf.Len() == 0 {
+		return nil, fmt.Errorf("edge %s: no buffered data for %s/%s", s.name, user, domain)
+	}
+	model, _, err := s.Personalize(domain, user)
+	if err != nil {
+		return nil, err
+	}
+	upd, err := fl.RunUpdate(model.Codec, buf, model.Version, cfg)
+	if err != nil {
+		return nil, err
+	}
+	model.Version = upd.Version
+	s.mu.Lock()
+	s.versions[bufferKey(domain, user)] = upd.Version
+	s.mu.Unlock()
+	buf.Reset()
+	return upd, nil
+}
+
+// ApplyRemoteUpdate applies a decoder update received from a peer edge to
+// the local copy of the user's individual model, creating it from the
+// general model if needed.
+func (s *Server) ApplyRemoteUpdate(upd *fl.Update) error {
+	model, _, err := s.Personalize(upd.Domain, upd.User)
+	if err != nil {
+		return err
+	}
+	if err := fl.ApplyUpdate(model.Codec, upd); err != nil {
+		return err
+	}
+	model.Version = upd.Version
+	return nil
+}
+
+// Prefetch pulls the general models for the given domains into the cache,
+// returning the total transfer latency. Experiments use it for warm-start
+// conditions.
+func (s *Server) Prefetch(domains []string) (time.Duration, error) {
+	var total time.Duration
+	for _, d := range domains {
+		acq, err := s.AcquireCodec(d, "")
+		if err != nil {
+			return total, err
+		}
+		total += acq.FetchLatency
+	}
+	return total, nil
+}

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/channel"
+	"repro/internal/corpus"
+	"repro/internal/mat"
+	"repro/internal/metrics"
+	"repro/internal/semantic"
+)
+
+// AblationOptions parameterizes the design-choice ablations from
+// DESIGN.md §5.
+type AblationOptions struct {
+	// SNRdB is the operating point (default 6: noisy but workable).
+	SNRdB float64
+	// Messages per configuration (default 200).
+	Messages int
+	// Domain under test (default "it").
+	Domain string
+	// Seed (default 1).
+	Seed uint64
+}
+
+func (o AblationOptions) withDefaults() AblationOptions {
+	if o.SNRdB == 0 {
+		o.SNRdB = 6
+	}
+	if o.Messages == 0 {
+		o.Messages = 200
+	}
+	if o.Domain == "" {
+		o.Domain = "it"
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// AblationRow is one configuration's outcome.
+type AblationRow struct {
+	Config       string
+	Similarity   float64
+	ConceptAcc   float64
+	PayloadBytes float64
+}
+
+// AblationResult groups rows per study.
+type AblationResult struct {
+	FeatureDim []AblationRow
+	Transport  []AblationRow
+	// Erasure compares semantic and traditional pipelines under symbol
+	// erasures (§III-C losses/congestion); Config holds the erasure rate.
+	Erasure []ErasureRow
+}
+
+// ErasureRow is one erasure-rate measurement.
+type ErasureRow struct {
+	ErasureP       float64
+	SemanticAcc    float64
+	TraditionalAcc float64
+}
+
+// RunAblations measures two design choices: codec bottleneck width
+// (feature dimension, which trades payload against fidelity) and feature
+// transport (digital quantized+coded versus DeepSC-style analog, plus
+// channel-code choices).
+func RunAblations(env *Env, opts AblationOptions) (*AblationResult, error) {
+	opts = opts.withDefaults()
+	d := env.Corpus.Domain(opts.Domain)
+	res := &AblationResult{}
+
+	// Study 1: feature dimension sweep (retrains small codecs).
+	for _, dim := range []int{2, 4, 8, 16} {
+		codec := semantic.Pretrain(d, env.Corpus, semantic.Config{
+			FeatureDim: dim, Seed: opts.Seed,
+		})
+		row, err := measureTransport(env, codec, "digital/hamming", opts)
+		if err != nil {
+			return nil, err
+		}
+		row.Config = fmt.Sprintf("feature_dim=%d", dim)
+		res.FeatureDim = append(res.FeatureDim, row)
+	}
+
+	// Study 2: transport comparison on the default codec.
+	codec := env.Generals[d.Index]
+	for _, transport := range []string{"digital/hamming", "digital/none", "digital/rep3", "analog"} {
+		row, err := measureTransport(env, codec, transport, opts)
+		if err != nil {
+			return nil, err
+		}
+		row.Config = transport
+		res.Transport = append(res.Transport, row)
+	}
+
+	// Study 3: symbol erasures (losses/congestion). Both pipelines use
+	// Hamming(7,4) + BPSK; the channel drops symbols independently.
+	for _, p := range []float64{0.01, 0.03, 0.05, 0.10, 0.20} {
+		row, err := measureErasure(env, codec, p, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Erasure = append(res.Erasure, row)
+	}
+	return res, nil
+}
+
+// measureErasure compares meaning recovery under a symbol-erasure channel.
+func measureErasure(env *Env, codec *semantic.Codec, p float64, opts AblationOptions) (ErasureRow, error) {
+	d := codec.Domain()
+	rng := mat.NewRNG(opts.Seed + 991)
+	gen := corpus.NewGenerator(env.Corpus, rng.Split())
+	ch := &channel.Erasure{P: p, Rng: rng.Split()}
+	link := channel.DefaultFeatureLink(ch)
+	pipe := tradPipeline(env, ch)
+
+	row := ErasureRow{ErasureP: p}
+	for i := 0; i < opts.Messages; i++ {
+		m := gen.Message(d.Index, nil)
+		rx, _ := link.Send(codec.EncodeWords(m.Words), codec.FeatureDim())
+		decoded := codec.DecodeFeatures(rx)
+		row.SemanticAcc += semantic.ConceptAccuracy(decoded, m.ConceptIDs)
+
+		got, _, _ := pipe.Send(m.Text())
+		concepts := conceptsOfText(d, got, len(m.ConceptIDs))
+		row.TraditionalAcc += semantic.ConceptAccuracy(concepts, m.ConceptIDs)
+	}
+	n := float64(opts.Messages)
+	row.SemanticAcc /= n
+	row.TraditionalAcc /= n
+	return row, nil
+}
+
+// measureTransport runs messages through one transport configuration.
+func measureTransport(env *Env, codec *semantic.Codec, transport string, opts AblationOptions) (AblationRow, error) {
+	d := codec.Domain()
+	rng := mat.NewRNG(opts.Seed + 77)
+	gen := corpus.NewGenerator(env.Corpus, rng.Split())
+	ch := &channel.AWGN{SNRdB: opts.SNRdB, Rng: rng.Split()}
+
+	send := func(feats [][]float64) ([][]float64, channel.LinkStats) {
+		switch transport {
+		case "digital/hamming":
+			return channel.DefaultFeatureLink(ch).Send(feats, codec.FeatureDim())
+		case "digital/none":
+			l := channel.DefaultFeatureLink(ch)
+			l.Code = channel.Identity{}
+			return l.Send(feats, codec.FeatureDim())
+		case "digital/rep3":
+			l := channel.DefaultFeatureLink(ch)
+			l.Code = channel.Repetition{N: 3}
+			return l.Send(feats, codec.FeatureDim())
+		default: // analog
+			return channel.AnalogLink{Ch: ch}.Send(feats, codec.FeatureDim())
+		}
+	}
+
+	var row AblationRow
+	for i := 0; i < opts.Messages; i++ {
+		m := gen.Message(d.Index, nil)
+		rx, stats := send(codec.EncodeWords(m.Words))
+		decoded := codec.DecodeFeatures(rx)
+		row.Similarity += semantic.Similarity(codec, decoded, m.ConceptIDs)
+		row.ConceptAcc += semantic.ConceptAccuracy(decoded, m.ConceptIDs)
+		row.PayloadBytes += float64(stats.PayloadBytes())
+	}
+	n := float64(opts.Messages)
+	row.Similarity /= n
+	row.ConceptAcc /= n
+	row.PayloadBytes /= n
+	return row, nil
+}
+
+// tradPipeline builds the traditional pipeline over ch.
+func tradPipeline(env *Env, ch channel.Channel) baseline.Pipeline {
+	return baseline.Pipeline{
+		Huff: env.Huffman,
+		Code: channel.Hamming74{},
+		Mod:  channel.BPSK{},
+		Ch:   ch,
+	}
+}
+
+// Tables renders all ablation studies.
+func (r *AblationResult) Tables() []*metrics.Table {
+	t1 := metrics.NewTable("Ablation 1: codec bottleneck width (6 dB AWGN)",
+		"config", "similarity", "concept_acc", "bytes_per_msg")
+	for _, row := range r.FeatureDim {
+		t1.AddRow(row.Config, metrics.F(row.Similarity, 3), metrics.F(row.ConceptAcc, 3),
+			metrics.F(row.PayloadBytes, 1))
+	}
+	t2 := metrics.NewTable("Ablation 2: feature transport (6 dB AWGN)",
+		"config", "similarity", "concept_acc", "bytes_per_msg")
+	for _, row := range r.Transport {
+		t2.AddRow(row.Config, metrics.F(row.Similarity, 3), metrics.F(row.ConceptAcc, 3),
+			metrics.F(row.PayloadBytes, 1))
+	}
+	t3 := metrics.NewTable("Ablation 3: symbol erasures (losses/congestion)",
+		"erasure_p", "semantic_concept_acc", "traditional_concept_acc")
+	for _, row := range r.Erasure {
+		t3.AddRow(metrics.F(row.ErasureP, 2), metrics.F(row.SemanticAcc, 3),
+			metrics.F(row.TraditionalAcc, 3))
+	}
+	return []*metrics.Table{t1, t2, t3}
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// E5Options parameterizes the model-selection comparison.
+type E5Options struct {
+	// Selectors to compare (default oracle, static, naivebayes, sticky,
+	// qlearn, ucb).
+	Selectors []string
+	// Messages per selector (default 3000).
+	Messages int
+	// Users sharing the stream (default 6).
+	Users int
+	// MeanRunLength of topic runs (default 12).
+	MeanRunLength float64
+	// Seed (default 1).
+	Seed uint64
+}
+
+func (o E5Options) withDefaults() E5Options {
+	if len(o.Selectors) == 0 {
+		o.Selectors = []string{
+			core.SelectorOracle, core.SelectorStatic, core.SelectorNaiveBayes,
+			core.SelectorSticky, core.SelectorQLearn, core.SelectorUCB,
+		}
+	}
+	if o.Messages == 0 {
+		o.Messages = 3000
+	}
+	if o.Users == 0 {
+		o.Users = 6
+	}
+	if o.MeanRunLength == 0 {
+		o.MeanRunLength = 12
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// E5Row is one selector's end-to-end outcome.
+type E5Row struct {
+	Selector          string
+	SelectionAccuracy float64
+	WordAccuracy      float64
+	Similarity        float64
+	Mismatch          float64
+}
+
+// E5Result compares selection policies.
+type E5Result struct {
+	Rows []E5Row
+}
+
+// RunE5 runs the full system under each selection policy on an ambiguous
+// workload (short, function-word-heavy messages under topic drift), where
+// per-message classification is unreliable and the §III-A context/RL
+// approaches should win.
+func RunE5(env *Env, opts E5Options) (*E5Result, error) {
+	opts = opts.withDefaults()
+	res := &E5Result{Rows: make([]E5Row, 0, len(opts.Selectors))}
+	for _, sel := range opts.Selectors {
+		sys, err := core.NewSystem(core.Config{
+			Selector:          sel,
+			PinGeneral:        true,
+			DisableAutoUpdate: true,
+			Seed:              opts.Seed,
+			Pretrained:        env.Generals,
+		})
+		if err != nil {
+			return nil, err
+		}
+		w := trace.Generate(sys.Corpus, trace.Config{
+			Users: opts.Users, Messages: opts.Messages,
+			MeanRunLength: opts.MeanRunLength,
+			MinLen:        3, MaxLen: 6, FuncProb: 0.55,
+			Seed: opts.Seed + 100,
+		})
+		results, err := sys.RunWorkload(w)
+		if err != nil {
+			return nil, err
+		}
+		sum, err := core.Summarize(results)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, E5Row{
+			Selector:          sel,
+			SelectionAccuracy: sum.SelectionAccuracy,
+			WordAccuracy:      sum.MeanWordAccuracy,
+			Similarity:        sum.MeanSimilarity,
+			Mismatch:          sum.MeanMismatch,
+		})
+	}
+	return res, nil
+}
+
+// FigureD renders the selection comparison.
+func (r *E5Result) FigureD() *metrics.Table {
+	t := metrics.NewTable("Figure D: model selection under topic drift (ambiguous short messages)",
+		"selector", "selection_acc", "word_acc", "similarity", "sender_mismatch")
+	for _, row := range r.Rows {
+		t.AddRow(row.Selector,
+			metrics.F(row.SelectionAccuracy, 3),
+			metrics.F(row.WordAccuracy, 3),
+			metrics.F(row.Similarity, 3),
+			metrics.F(row.Mismatch, 3))
+	}
+	return t
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/edge"
+	"repro/internal/kb"
+	"repro/internal/mat"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+)
+
+// E8Options parameterizes the concurrency/scalability measurement.
+type E8Options struct {
+	// UserCounts to sweep (default 1, 2, 4, 8, 16, 32, 64).
+	UserCounts []int
+	// MessagesPerUser per run (default 200).
+	MessagesPerUser int
+	// Seed (default 1).
+	Seed uint64
+}
+
+func (o E8Options) withDefaults() E8Options {
+	if len(o.UserCounts) == 0 {
+		o.UserCounts = []int{1, 2, 4, 8, 16, 32, 64}
+	}
+	if o.MessagesPerUser == 0 {
+		o.MessagesPerUser = 200
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// E8Row is one concurrency level's wall-clock measurement.
+type E8Row struct {
+	Users      int
+	Messages   int
+	Throughput float64 // messages per wall-clock second
+	P99        time.Duration
+}
+
+// E8Result is the scalability sweep.
+type E8Result struct {
+	Rows []E8Row
+}
+
+// RunE8 drives a shared pair of edge servers with real concurrent user
+// goroutines (encode, record transaction, decode) and measures wall-clock
+// throughput and tail latency of the edge processing path. Unlike the
+// other experiments it intentionally measures real time.
+func RunE8(env *Env, opts E8Options) (*E8Result, error) {
+	opts = opts.withDefaults()
+	cloud := kb.NewRegistry()
+	for i, d := range env.Corpus.Domains {
+		cloud.Put(&kb.Model{Key: kb.GeneralKey(d.Name, kb.RoleCodec), Version: 1, Codec: env.Generals[i]})
+	}
+	res := &E8Result{Rows: make([]E8Row, 0, len(opts.UserCounts))}
+	for _, users := range opts.UserCounts {
+		mk := func(name string) (*edge.Server, error) {
+			return edge.New(edge.Config{
+				Name:          name,
+				CacheCapacity: 64 << 20,
+				Uplink:        netsim.Link{Latency: time.Millisecond},
+				// Real wall-clock measurement: no simulated compute.
+				ComputePerToken: time.Nanosecond,
+			}, cloud)
+		}
+		sender, err := mk("edge-s")
+		if err != nil {
+			return nil, err
+		}
+		receiver, err := mk("edge-r")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sender.Prefetch(env.Corpus.Names()); err != nil {
+			return nil, err
+		}
+		if _, err := receiver.Prefetch(env.Corpus.Names()); err != nil {
+			return nil, err
+		}
+
+		latencies := make([][]time.Duration, users)
+		var wg sync.WaitGroup
+		var firstErr error
+		var errOnce sync.Once
+		start := time.Now()
+		for u := 0; u < users; u++ {
+			wg.Add(1)
+			go func(u int) {
+				defer wg.Done()
+				gen := corpus.NewGenerator(env.Corpus, mat.NewRNG(opts.Seed+uint64(u)*31))
+				user := fmt.Sprintf("u%03d", u)
+				lats := make([]time.Duration, 0, opts.MessagesPerUser)
+				for i := 0; i < opts.MessagesPerUser; i++ {
+					di := (u + i) % len(env.Corpus.Domains)
+					msg := gen.Message(di, nil)
+					t0 := time.Now()
+					enc, err := sender.Encode(msg.DomainName, user, msg.Words)
+					if err == nil {
+						_, _, err = sender.RecordTransaction(msg.DomainName, user, msg.Words)
+					}
+					if err == nil {
+						_, err = receiver.Decode(msg.DomainName, user, enc.Features)
+					}
+					if err != nil {
+						errOnce.Do(func() { firstErr = err })
+						return
+					}
+					lats = append(lats, time.Since(t0))
+				}
+				latencies[u] = lats
+			}(u)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		elapsed := time.Since(start)
+		total := users * opts.MessagesPerUser
+		var all metrics.Durations
+		for _, lats := range latencies {
+			for _, l := range lats {
+				all.Add(l)
+			}
+		}
+		res.Rows = append(res.Rows, E8Row{
+			Users:      users,
+			Messages:   total,
+			Throughput: float64(total) / elapsed.Seconds(),
+			P99:        all.P(99),
+		})
+	}
+	return res, nil
+}
+
+// TableD renders the scalability sweep.
+func (r *E8Result) TableD() *metrics.Table {
+	t := metrics.NewTable("Table D: edge-server throughput under concurrent users (wall clock)",
+		"users", "messages", "msgs_per_sec", "p99_us")
+	for _, row := range r.Rows {
+		t.AddRow(
+			fmt.Sprintf("%d", row.Users),
+			fmt.Sprintf("%d", row.Messages),
+			metrics.F(row.Throughput, 0),
+			metrics.F(float64(row.P99)/float64(time.Microsecond), 1))
+	}
+	return t
+}

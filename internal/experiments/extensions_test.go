@@ -1,0 +1,93 @@
+package experiments
+
+import "testing"
+
+func TestE9Shapes(t *testing.T) {
+	env := Environment()
+	res, err := RunE9(env, E9Options{
+		Donors: 6, SentencesPerDonor: 32, Rounds: 3, ProbeUsers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	stock, fed := res.Rows[0], res.Rows[1]
+	if fed.ColdStartAcc <= stock.ColdStartAcc {
+		t.Fatalf("FedAvg did not improve cold start: %v -> %v",
+			stock.ColdStartAcc, fed.ColdStartAcc)
+	}
+	if fed.GenericAcc < stock.GenericAcc-0.05 {
+		t.Fatalf("FedAvg degraded generic traffic: %v -> %v",
+			stock.GenericAcc, fed.GenericAcc)
+	}
+	if res.TableE().NumRows() != 2 {
+		t.Fatal("table shape wrong")
+	}
+}
+
+func TestE10Shapes(t *testing.T) {
+	env := Environment()
+	res, err := RunE10(env, E10Options{Frames: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	sem, raw3, raw6 := res.Rows[0], res.Rows[1], res.Rows[2]
+	// At an equal byte budget the semantic codec must reconstruct better:
+	// it spends its bits on the pose manifold, not on every raw dimension.
+	if sem.BytesPerPose > raw3.BytesPerPose+1 {
+		t.Fatalf("semantic bytes (%v) should be <= equal-budget raw (%v)",
+			sem.BytesPerPose, raw3.BytesPerPose)
+	}
+	if sem.NMSE >= raw3.NMSE {
+		t.Fatalf("semantic NMSE (%v) should beat equal-byte raw (%v)", sem.NMSE, raw3.NMSE)
+	}
+	// Raw transport can buy quality, but only by paying ~2.4x the bytes.
+	if raw6.BytesPerPose <= 2*sem.BytesPerPose {
+		t.Fatalf("raw 6-bit bytes (%v) should cost over 2x semantic (%v)",
+			raw6.BytesPerPose, sem.BytesPerPose)
+	}
+	if raw6.NMSE >= raw3.NMSE {
+		t.Fatalf("raw 6-bit (%v) should beat raw 3-bit (%v)", raw6.NMSE, raw3.NMSE)
+	}
+	if res.TableF().NumRows() != 3 {
+		t.Fatal("table shape wrong")
+	}
+}
+
+func TestErasureAblationShapes(t *testing.T) {
+	env := Environment()
+	res, err := RunAblations(env, AblationOptions{Messages: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Erasure) != 5 {
+		t.Fatalf("erasure rows = %d", len(res.Erasure))
+	}
+	// Semantic must degrade gracefully: at 10% erasures it should stay far
+	// above the traditional pipeline.
+	var at10 ErasureRow
+	for _, row := range res.Erasure {
+		if row.ErasureP == 0.10 {
+			at10 = row
+		}
+	}
+	if at10.SemanticAcc <= at10.TraditionalAcc {
+		t.Fatalf("at 10%% erasures semantic (%v) should beat traditional (%v)",
+			at10.SemanticAcc, at10.TraditionalAcc)
+	}
+	// Monotone degradation with erasure rate for the semantic pipeline.
+	for i := 1; i < len(res.Erasure); i++ {
+		if res.Erasure[i].SemanticAcc > res.Erasure[i-1].SemanticAcc+0.05 {
+			t.Fatalf("semantic accuracy not degrading with erasures: %v",
+				res.Erasure)
+		}
+	}
+	if len(res.Tables()) != 3 {
+		t.Fatal("expected 3 ablation tables")
+	}
+}

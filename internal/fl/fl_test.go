@@ -1,0 +1,230 @@
+package fl
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/semantic"
+)
+
+var (
+	fixOnce sync.Once
+	fixCorp *corpus.Corpus
+	fixGen  *semantic.Codec
+)
+
+func fixtures(t *testing.T) (*corpus.Corpus, *semantic.Codec) {
+	t.Helper()
+	fixOnce.Do(func() {
+		fixCorp = corpus.Build()
+		fixGen = semantic.Pretrain(fixCorp.Domain("it"), fixCorp, semantic.Config{
+			EmbedDim: 12, FeatureDim: 6, HiddenDim: 16,
+			Epochs: 3, Sentences: 400, Seed: 7,
+		})
+	})
+	return fixCorp, fixGen
+}
+
+// fillBuffer records n idiolect-bearing transactions through codec's
+// decoder copy.
+func fillBuffer(corp *corpus.Corpus, codec *semantic.Codec, idio *corpus.Idiolect, n int, seed uint64) *Buffer {
+	d := codec.Domain()
+	gen := corpus.NewGenerator(corp, mat.NewRNG(seed))
+	buf := NewBuffer(d.Name, "u1", n)
+	for i := 0; i < n; i++ {
+		m := gen.Message(d.Index, idio)
+		sids := make([]int, len(m.Words))
+		for j, w := range m.Words {
+			sids[j] = d.SurfaceID(w)
+		}
+		buf.Add(Transaction{
+			SurfaceIDs: sids,
+			ConceptIDs: m.ConceptIDs,
+			Decoded:    codec.RoundTrip(m.Words),
+		})
+	}
+	return buf
+}
+
+func TestTransactionMismatch(t *testing.T) {
+	tx := Transaction{ConceptIDs: []int{1, 2, 3, 4}, Decoded: []int{1, 2, 9, 9}}
+	if got := tx.Mismatch(); got != 0.5 {
+		t.Fatalf("Mismatch = %v, want 0.5", got)
+	}
+	if (Transaction{}).Mismatch() != 0 {
+		t.Fatal("empty transaction mismatch should be 0")
+	}
+	short := Transaction{ConceptIDs: []int{1, 2}, Decoded: []int{1}}
+	if short.Mismatch() != 0.5 {
+		t.Fatal("missing decoded positions should count as mismatches")
+	}
+}
+
+func TestOutputReturnBytes(t *testing.T) {
+	tx := Transaction{}
+	if got := tx.OutputReturnBytes([]string{"ab", "cde"}); got != 7 {
+		t.Fatalf("OutputReturnBytes = %d, want 7", got)
+	}
+}
+
+func TestBufferLifecycle(t *testing.T) {
+	b := NewBuffer("it", "u1", 3)
+	if b.Ready() {
+		t.Fatal("empty buffer ready")
+	}
+	for i := 0; i < 3; i++ {
+		b.Add(Transaction{SurfaceIDs: []int{1}, ConceptIDs: []int{2}, Decoded: []int{2}})
+	}
+	if !b.Ready() || b.Len() != 3 {
+		t.Fatal("buffer should be ready at threshold")
+	}
+	if got := len(b.Examples()); got != 3 {
+		t.Fatalf("Examples = %d", got)
+	}
+	b.Reset()
+	if b.Len() != 0 || b.Ready() {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestBufferDefaultThreshold(t *testing.T) {
+	b := NewBuffer("it", "u1", 0)
+	if b.Threshold != 32 {
+		t.Fatalf("default threshold = %d", b.Threshold)
+	}
+}
+
+func TestBufferMeanMismatch(t *testing.T) {
+	b := NewBuffer("it", "u1", 8)
+	b.Add(Transaction{ConceptIDs: []int{1, 2}, Decoded: []int{1, 2}}) // 0
+	b.Add(Transaction{ConceptIDs: []int{1, 2}, Decoded: []int{9, 9}}) // 1
+	if got := b.MeanMismatch(); got != 0.5 {
+		t.Fatalf("MeanMismatch = %v", got)
+	}
+}
+
+func TestRunUpdateEmptyBuffer(t *testing.T) {
+	_, gen := fixtures(t)
+	buf := NewBuffer("it", "u1", 4)
+	if _, err := RunUpdate(gen.Clone(), buf, 0, UpdateConfig{}); err == nil {
+		t.Fatal("empty-buffer update should error")
+	}
+}
+
+func TestRunUpdateImprovesAccuracy(t *testing.T) {
+	corp, gen := fixtures(t)
+	individual := gen.Clone()
+	idio := corpus.NewIdiolect(corp, mat.NewRNG(91), 0.5)
+	buf := fillBuffer(corp, individual, idio, 48, 92)
+
+	upd, err := RunUpdate(individual, buf, 0, UpdateConfig{Epochs: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upd.Version != 1 {
+		t.Fatalf("Version = %d", upd.Version)
+	}
+	if upd.Stats.PostAccuracy <= upd.Stats.PreAccuracy {
+		t.Fatalf("fine-tune did not improve: %v -> %v",
+			upd.Stats.PreAccuracy, upd.Stats.PostAccuracy)
+	}
+	if upd.Stats.PayloadBytes <= 0 || upd.Stats.DenseBytes < upd.Stats.PayloadBytes {
+		t.Fatalf("byte accounting wrong: %+v", upd.Stats)
+	}
+}
+
+func TestApplyUpdateSynchronizesReceiver(t *testing.T) {
+	corp, gen := fixtures(t)
+	sender := gen.Clone()
+	receiver := gen.Clone()
+	idio := corpus.NewIdiolect(corp, mat.NewRNG(93), 0.5)
+	buf := fillBuffer(corp, sender, idio, 48, 94)
+
+	upd, err := RunUpdate(sender, buf, 0, UpdateConfig{Epochs: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyUpdate(receiver, upd); err != nil {
+		t.Fatal(err)
+	}
+	// Lossless sync: sender-encoder -> receiver-decoder must match
+	// sender-local accuracy exactly.
+	examples := buf.Examples()
+	local := sender.Evaluate(examples)
+	cross := CrossEvaluate(sender, receiver, examples)
+	if local != cross {
+		t.Fatalf("lossless sync mismatch: local %v cross %v", local, cross)
+	}
+}
+
+func TestCompressedUpdateCloseToLossless(t *testing.T) {
+	corp, gen := fixtures(t)
+	sender := gen.Clone()
+	receiver := gen.Clone()
+	idio := corpus.NewIdiolect(corp, mat.NewRNG(95), 0.5)
+	buf := fillBuffer(corp, sender, idio, 48, 96)
+
+	upd, err := RunUpdate(sender, buf, 0, UpdateConfig{
+		Epochs: 4, Seed: 5,
+		Compress: nn.CompressOptions{TopKFrac: 0.25, Int8: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyUpdate(receiver, upd); err != nil {
+		t.Fatal(err)
+	}
+	examples := buf.Examples()
+	local := sender.Evaluate(examples)
+	cross := CrossEvaluate(sender, receiver, examples)
+	if cross < local-0.15 {
+		t.Fatalf("compressed sync degraded too much: local %v cross %v", local, cross)
+	}
+	if upd.Stats.PayloadBytes >= upd.Stats.DenseBytes/2 {
+		t.Fatalf("top-25%%+int8 payload %d not much smaller than dense %d",
+			upd.Stats.PayloadBytes, upd.Stats.DenseBytes)
+	}
+}
+
+func TestApplyUpdateRejectsGarbage(t *testing.T) {
+	_, gen := fixtures(t)
+	if err := ApplyUpdate(gen.Clone(), &Update{Payload: []byte("junk")}); err == nil {
+		t.Fatal("garbage payload accepted")
+	}
+}
+
+func TestUpdateDoesNotTouchEncoderOnReceiver(t *testing.T) {
+	corp, gen := fixtures(t)
+	sender := gen.Clone()
+	receiver := gen.Clone()
+	idio := corpus.NewIdiolect(corp, mat.NewRNG(97), 0.4)
+	buf := fillBuffer(corp, sender, idio, 40, 98)
+	upd, err := RunUpdate(sender, buf, 0, UpdateConfig{Epochs: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	encBefore := receiver.EncoderParams().Clone()
+	if err := ApplyUpdate(receiver, upd); err != nil {
+		t.Fatal(err)
+	}
+	encAfter := receiver.EncoderParams()
+	for i := range encBefore.Params {
+		a := encBefore.Params[i].M.Data
+		b := encAfter.Params[i].M.Data
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatal("decoder update modified receiver encoder")
+			}
+		}
+	}
+}
+
+func TestCrossEvaluateEmpty(t *testing.T) {
+	_, gen := fixtures(t)
+	if got := CrossEvaluate(gen, gen, nil); got != 0 {
+		t.Fatalf("empty CrossEvaluate = %v", got)
+	}
+}

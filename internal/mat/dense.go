@@ -1,0 +1,185 @@
+package mat
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Dense is a row-major dense matrix of float64 values.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewDense allocates a zeroed Rows x Cols matrix. It panics on non-positive
+// dimensions.
+func NewDense(rows, cols int) *Dense {
+	if rows <= 0 || cols <= 0 {
+		panic("mat: NewDense called with non-positive dimension")
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns the element at row i, column j.
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a mutable view of row i.
+func (m *Dense) Row(i int) []float64 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero sets all elements to zero.
+func (m *Dense) Zero() { Zero(m.Data) }
+
+// CopyFrom copies src's contents into m. It panics if shapes differ.
+func (m *Dense) CopyFrom(src *Dense) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic("mat: CopyFrom shape mismatch")
+	}
+	copy(m.Data, src.Data)
+}
+
+// Randomize fills m with uniform values in [-scale, scale) drawn from rng.
+func (m *Dense) Randomize(rng *RNG, scale float64) {
+	for i := range m.Data {
+		m.Data[i] = (2*rng.Float64() - 1) * scale
+	}
+}
+
+// GlorotInit fills m with the Glorot/Xavier uniform initialization for a
+// layer with fanIn inputs and fanOut outputs.
+func (m *Dense) GlorotInit(rng *RNG, fanIn, fanOut int) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	m.Randomize(rng, limit)
+}
+
+// MulVec computes dst = m * x where x has length Cols and dst has length
+// Rows. dst must not alias x. It panics on length mismatches.
+func (m *Dense) MulVec(dst, x []float64) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic("mat: MulVec length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		s := 0.0
+		for j, w := range row {
+			s += w * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// MulVecT computes dst = mᵀ * x where x has length Rows and dst has length
+// Cols. dst must not alias x. It panics on length mismatches.
+func (m *Dense) MulVecT(dst, x []float64) {
+	if len(x) != m.Rows || len(dst) != m.Cols {
+		panic("mat: MulVecT length mismatch")
+	}
+	Zero(dst)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for j, w := range row {
+			dst[j] += w * xi
+		}
+	}
+}
+
+// AddOuter accumulates m += a * x * yᵀ, where x has length Rows and y has
+// length Cols. It panics on length mismatches.
+func (m *Dense) AddOuter(a float64, x, y []float64) {
+	if len(x) != m.Rows || len(y) != m.Cols {
+		panic("mat: AddOuter length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		axi := a * x[i]
+		if axi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, yj := range y {
+			row[j] += axi * yj
+		}
+	}
+}
+
+// AddScaled accumulates m += a * other. It panics if shapes differ.
+func (m *Dense) AddScaled(a float64, other *Dense) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic("mat: AddScaled shape mismatch")
+	}
+	AXPY(m.Data, a, other.Data)
+}
+
+const denseMagic = uint32(0x4d415431) // "MAT1"
+
+// errBadMatrix reports a malformed serialized matrix.
+var errBadMatrix = errors.New("mat: malformed serialized matrix")
+
+// WriteTo serializes m in a fixed little-endian binary layout:
+// magic, rows, cols (uint32 each) followed by Rows*Cols float64 values.
+func (m *Dense) WriteTo(w io.Writer) (int64, error) {
+	hdr := make([]byte, 12)
+	binary.LittleEndian.PutUint32(hdr[0:], denseMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(m.Rows))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(m.Cols))
+	n, err := w.Write(hdr)
+	written := int64(n)
+	if err != nil {
+		return written, fmt.Errorf("mat: write header: %w", err)
+	}
+	buf := make([]byte, 8*len(m.Data))
+	for i, v := range m.Data {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	n, err = w.Write(buf)
+	written += int64(n)
+	if err != nil {
+		return written, fmt.Errorf("mat: write data: %w", err)
+	}
+	return written, nil
+}
+
+// ReadDense deserializes a matrix previously written by WriteTo.
+func ReadDense(r io.Reader) (*Dense, error) {
+	hdr := make([]byte, 12)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("mat: read header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != denseMagic {
+		return nil, errBadMatrix
+	}
+	rows := int(binary.LittleEndian.Uint32(hdr[4:]))
+	cols := int(binary.LittleEndian.Uint32(hdr[8:]))
+	if rows <= 0 || cols <= 0 || rows*cols > 1<<28 {
+		return nil, errBadMatrix
+	}
+	m := NewDense(rows, cols)
+	buf := make([]byte, 8*len(m.Data))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("mat: read data: %w", err)
+	}
+	for i := range m.Data {
+		m.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return m, nil
+}
+
+// SizeBytes returns the serialized size of m in bytes.
+func (m *Dense) SizeBytes() int64 { return 12 + int64(8*len(m.Data)) }

@@ -1,0 +1,194 @@
+package mat
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDenseBasics(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 5 || m.At(0, 1) != 0 {
+		t.Fatal("At/Set mismatch")
+	}
+	r := m.Row(1)
+	r[0] = 9
+	if m.At(1, 0) != 9 {
+		t.Fatal("Row is not a view")
+	}
+}
+
+func TestDensePanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDense(0, 3)
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewDense(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	dst := make([]float64, 2)
+	m.MulVec(dst, []float64{1, 1, 1})
+	if dst[0] != 6 || dst[1] != 15 {
+		t.Fatalf("MulVec = %v", dst)
+	}
+}
+
+func TestMulVecT(t *testing.T) {
+	m := NewDense(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	dst := make([]float64, 3)
+	m.MulVecT(dst, []float64{1, 1})
+	if dst[0] != 5 || dst[1] != 7 || dst[2] != 9 {
+		t.Fatalf("MulVecT = %v", dst)
+	}
+}
+
+func TestAddOuter(t *testing.T) {
+	m := NewDense(2, 2)
+	m.AddOuter(2, []float64{1, 2}, []float64{3, 4})
+	want := []float64{6, 8, 12, 16}
+	for i, v := range want {
+		if m.Data[i] != v {
+			t.Fatalf("AddOuter data = %v, want %v", m.Data, want)
+		}
+	}
+}
+
+func TestCloneAndCopyFrom(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Set(0, 0, 7)
+	c := m.Clone()
+	c.Set(0, 0, 1)
+	if m.At(0, 0) != 7 {
+		t.Fatal("Clone shares data")
+	}
+	m2 := NewDense(2, 2)
+	m2.CopyFrom(m)
+	if m2.At(0, 0) != 7 {
+		t.Fatal("CopyFrom failed")
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	a := NewDense(1, 2)
+	b := NewDense(1, 2)
+	copy(a.Data, []float64{1, 2})
+	copy(b.Data, []float64{10, 20})
+	a.AddScaled(0.5, b)
+	if a.Data[0] != 6 || a.Data[1] != 12 {
+		t.Fatalf("AddScaled = %v", a.Data)
+	}
+}
+
+func TestGlorotInitBounds(t *testing.T) {
+	m := NewDense(8, 8)
+	m.GlorotInit(NewRNG(1), 8, 8)
+	limit := math.Sqrt(6.0 / 16.0)
+	for _, v := range m.Data {
+		if math.Abs(v) > limit {
+			t.Fatalf("Glorot value %v outside ±%v", v, limit)
+		}
+	}
+	// The matrix must not be all zeros.
+	if MaxAbs(m.Data) == 0 {
+		t.Fatal("GlorotInit produced all zeros")
+	}
+}
+
+func TestDenseSerializationRoundTrip(t *testing.T) {
+	m := NewDense(3, 5)
+	m.Randomize(NewRNG(4), 2)
+	var buf bytes.Buffer
+	n, err := m.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != m.SizeBytes() {
+		t.Fatalf("WriteTo wrote %d bytes, SizeBytes says %d", n, m.SizeBytes())
+	}
+	got, err := ReadDense(&buf)
+	if err != nil {
+		t.Fatalf("ReadDense: %v", err)
+	}
+	if got.Rows != 3 || got.Cols != 5 {
+		t.Fatalf("round-trip shape %dx%d", got.Rows, got.Cols)
+	}
+	for i := range m.Data {
+		if m.Data[i] != got.Data[i] {
+			t.Fatalf("round-trip data mismatch at %d", i)
+		}
+	}
+}
+
+func TestReadDenseRejectsGarbage(t *testing.T) {
+	if _, err := ReadDense(bytes.NewReader([]byte("not a matrix at all"))); err == nil {
+		t.Fatal("ReadDense accepted garbage")
+	}
+	if _, err := ReadDense(bytes.NewReader(nil)); err == nil {
+		t.Fatal("ReadDense accepted empty input")
+	}
+}
+
+// Property: (Mᵀ)ᵀ x == M x is trivially true, but MulVec and MulVecT must be
+// consistent adjoints: <Mx, y> == <x, Mᵀy>.
+func TestMulVecAdjointQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		m := NewDense(4, 6)
+		m.Randomize(rng, 1)
+		x := make([]float64, 6)
+		y := make([]float64, 4)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := range y {
+			y[i] = rng.NormFloat64()
+		}
+		mx := make([]float64, 4)
+		m.MulVec(mx, x)
+		mty := make([]float64, 6)
+		m.MulVecT(mty, y)
+		return almostEqual(Dot(mx, y), Dot(x, mty), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: serialization round-trips exactly for random matrices.
+func TestSerializationQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		rows := 1 + rng.Intn(6)
+		cols := 1 + rng.Intn(6)
+		m := NewDense(rows, cols)
+		m.Randomize(rng, 10)
+		var buf bytes.Buffer
+		if _, err := m.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := ReadDense(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Rows != rows || got.Cols != cols {
+			return false
+		}
+		for i := range m.Data {
+			if m.Data[i] != got.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

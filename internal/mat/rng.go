@@ -1,0 +1,151 @@
+// Package mat provides the small, dependency-free numerical substrate used
+// by the semantic-codec training stack: dense matrices, vector kernels and a
+// deterministic random number generator.
+//
+// Everything in this package is deterministic given a seed, which is what
+// makes the experiment harness bit-reproducible across runs.
+package mat
+
+import "math"
+
+// RNG is a deterministic pseudo-random number generator based on SplitMix64.
+//
+// It is intentionally not safe for concurrent use; callers that need
+// parallel streams should derive independent generators with Split.
+type RNG struct {
+	state uint64
+	// spare holds a cached second normal deviate from the polar method.
+	spare    float64
+	hasSpare bool
+}
+
+// NewRNG returns a generator seeded with seed. Two generators constructed
+// with the same seed produce identical streams.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	// 53 high-quality bits -> [0,1).
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0, mirroring
+// math/rand semantics.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("mat: Intn called with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a standard normal deviate using the Marsaglia polar
+// method.
+func (r *RNG) NormFloat64() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.spare = v * f
+		r.hasSpare = true
+		return u * f
+	}
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly reorders the first n elements using swap, with the
+// same contract as math/rand.Shuffle.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Split derives a new generator whose stream is independent of the parent's
+// subsequent output. It is the supported way to hand deterministic
+// sub-streams to parallel components.
+func (r *RNG) Split() *RNG {
+	// Mixing two successive outputs gives a well-separated child state.
+	a := r.Uint64()
+	b := r.Uint64()
+	return NewRNG(a ^ (b << 1) ^ 0x632be59bd9b4e019)
+}
+
+// Zipf samples from a Zipf distribution over {0, ..., n-1} with exponent s
+// using inverse-CDF lookup on precomputed weights. It is suitable for the
+// small ranges (domains, vocabulary buckets) used by the workload generator.
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf builds a Zipf sampler over n items with exponent s (s > 0); larger
+// s skews mass toward low indices. It panics if n <= 0 or s <= 0.
+func NewZipf(rng *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("mat: NewZipf called with non-positive n")
+	}
+	if s <= 0 {
+		panic("mat: NewZipf called with non-positive exponent")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// N returns the number of items the sampler draws from.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Sample draws one index in [0, n) with Zipf-distributed probability.
+func (z *Zipf) Sample() int {
+	u := z.rng.Float64()
+	// Binary search for the first cdf entry >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,95 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTransferTimeLatencyOnly(t *testing.T) {
+	l := Link{Latency: 10 * time.Millisecond}
+	if got := l.TransferTime(1 << 20); got != 10*time.Millisecond {
+		t.Fatalf("latency-only transfer = %v", got)
+	}
+}
+
+func TestTransferTimeWithBandwidth(t *testing.T) {
+	// 1 Mbps link, 1000 bytes = 8000 bits -> 8 ms serialization + 2 ms.
+	l := Link{Latency: 2 * time.Millisecond, BandwidthBps: 1e6}
+	got := l.TransferTime(1000)
+	want := 10 * time.Millisecond
+	if got < want-time.Microsecond || got > want+time.Microsecond {
+		t.Fatalf("TransferTime = %v, want ~%v", got, want)
+	}
+}
+
+func TestTransferTimeZeroBytes(t *testing.T) {
+	l := Link{Latency: 5 * time.Millisecond, BandwidthBps: 1e6}
+	if got := l.TransferTime(0); got != 5*time.Millisecond {
+		t.Fatalf("zero-byte transfer = %v", got)
+	}
+}
+
+func TestTransferTimeMonotoneInSize(t *testing.T) {
+	l := Link{Latency: time.Millisecond, BandwidthBps: 1e8}
+	prev := time.Duration(0)
+	for _, size := range []int64{0, 100, 10000, 1000000} {
+		d := l.TransferTime(size)
+		if d < prev {
+			t.Fatalf("TransferTime not monotone: %v after %v", d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestTopologyConnect(t *testing.T) {
+	topo := NewTopology()
+	topo.Connect("edge1", "cloud", Link{Latency: 40 * time.Millisecond})
+	if _, ok := topo.Link("edge1", "cloud"); !ok {
+		t.Fatal("forward link missing")
+	}
+	if _, ok := topo.Link("cloud", "edge1"); !ok {
+		t.Fatal("reverse link missing")
+	}
+	if _, ok := topo.Link("edge1", "edge2"); ok {
+		t.Fatal("phantom link present")
+	}
+}
+
+func TestTopologyConnectDirected(t *testing.T) {
+	topo := NewTopology()
+	topo.ConnectDirected("a", "b", Link{Latency: time.Millisecond})
+	if _, ok := topo.Link("a", "b"); !ok {
+		t.Fatal("directed link missing")
+	}
+	if _, ok := topo.Link("b", "a"); ok {
+		t.Fatal("directed link should be one-way")
+	}
+}
+
+func TestTopologyTransferTime(t *testing.T) {
+	topo := NewTopology()
+	topo.Connect("a", "b", Link{Latency: 3 * time.Millisecond})
+	d, err := topo.TransferTime("a", "b", 100)
+	if err != nil || d != 3*time.Millisecond {
+		t.Fatalf("TransferTime = %v, %v", d, err)
+	}
+	if _, err := topo.TransferTime("a", "zzz", 100); err == nil {
+		t.Fatal("missing link should error")
+	}
+}
+
+func TestTopologyNodes(t *testing.T) {
+	topo := NewTopology()
+	topo.Connect("edge2", "cloud", Link{})
+	topo.Connect("edge1", "cloud", Link{})
+	nodes := topo.Nodes()
+	want := []string{"cloud", "edge1", "edge2"}
+	if len(nodes) != len(want) {
+		t.Fatalf("Nodes = %v", nodes)
+	}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Fatalf("Nodes = %v, want %v", nodes, want)
+		}
+	}
+}

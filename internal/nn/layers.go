@@ -1,0 +1,119 @@
+package nn
+
+import (
+	"repro/internal/mat"
+)
+
+// Embedding maps integer token IDs to dense vectors via a VxE lookup table.
+type Embedding struct {
+	Table *mat.Dense // V rows, E cols
+}
+
+// NewEmbedding allocates a Glorot-initialized embedding table for vocab
+// words of dim dimensions.
+func NewEmbedding(rng *mat.RNG, vocab, dim int) *Embedding {
+	e := &Embedding{Table: mat.NewDense(vocab, dim)}
+	e.Table.GlorotInit(rng, vocab, dim)
+	return e
+}
+
+// Vocab returns the number of rows (token IDs) in the table.
+func (e *Embedding) Vocab() int { return e.Table.Rows }
+
+// Dim returns the embedding dimensionality.
+func (e *Embedding) Dim() int { return e.Table.Cols }
+
+// Lookup returns a read-only view of the embedding for token id.
+func (e *Embedding) Lookup(id int) []float64 { return e.Table.Row(id) }
+
+// AccumulateGrad adds dVec into the gradient row for token id. grad must be
+// a ZeroClone-shaped gradient table for this embedding.
+func (e *Embedding) AccumulateGrad(grad *mat.Dense, id int, dVec []float64) {
+	mat.AddTo(grad.Row(id), dVec)
+}
+
+// Linear is a fully connected layer computing y = W*x + b.
+type Linear struct {
+	W *mat.Dense // Out x In
+	B *mat.Dense // 1 x Out (kept as a matrix so it shares ParamSet plumbing)
+}
+
+// NewLinear allocates a Glorot-initialized layer with the given fan-in and
+// fan-out.
+func NewLinear(rng *mat.RNG, in, out int) *Linear {
+	l := &Linear{W: mat.NewDense(out, in), B: mat.NewDense(1, out)}
+	l.W.GlorotInit(rng, in, out)
+	return l
+}
+
+// In returns the input dimensionality.
+func (l *Linear) In() int { return l.W.Cols }
+
+// Out returns the output dimensionality.
+func (l *Linear) Out() int { return l.W.Rows }
+
+// Forward computes dst = W*x + b. dst must have length Out and must not
+// alias x.
+func (l *Linear) Forward(dst, x []float64) {
+	l.W.MulVec(dst, x)
+	mat.AddTo(dst, l.B.Row(0))
+}
+
+// Backward accumulates parameter gradients for one example and computes the
+// gradient with respect to the input.
+//
+//	x      — the input that produced the forward pass
+//	dy     — gradient of the loss w.r.t. the layer output
+//	gW, gB — gradient accumulators shaped like W and B
+//	dx     — output buffer for the input gradient (may be nil to skip)
+func (l *Linear) Backward(x, dy []float64, gW, gB *mat.Dense, dx []float64) {
+	gW.AddOuter(1, dy, x)
+	mat.AddTo(gB.Row(0), dy)
+	if dx != nil {
+		l.W.MulVecT(dx, dy)
+	}
+}
+
+// TanhForward applies tanh element-wise: dst = tanh(src). dst may alias src.
+func TanhForward(dst, src []float64) { mat.Tanh(dst, src) }
+
+// TanhBackward computes the input gradient of a tanh layer given the
+// activation output y and the output gradient dy: dx = dy * (1 - y^2).
+// dst may alias dy.
+func TanhBackward(dst, y, dy []float64) {
+	if len(dst) != len(y) || len(y) != len(dy) {
+		panic("nn: TanhBackward length mismatch")
+	}
+	for i := range dst {
+		dst[i] = dy[i] * (1 - y[i]*y[i])
+	}
+}
+
+// ReLUForward applies max(0, x) element-wise. dst may alias src.
+func ReLUForward(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("nn: ReLUForward length mismatch")
+	}
+	for i, v := range src {
+		if v > 0 {
+			dst[i] = v
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// ReLUBackward computes dx = dy where the forward output was positive, else
+// zero. y is the forward output. dst may alias dy.
+func ReLUBackward(dst, y, dy []float64) {
+	if len(dst) != len(y) || len(y) != len(dy) {
+		panic("nn: ReLUBackward length mismatch")
+	}
+	for i := range dst {
+		if y[i] > 0 {
+			dst[i] = dy[i]
+		} else {
+			dst[i] = 0
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/mat"
+)
+
+// SoftmaxCrossEntropy computes the cross-entropy loss of logits against the
+// target class and writes the gradient w.r.t. the logits into dLogits
+// (softmax(logits) with 1 subtracted at the target). dLogits may alias
+// logits. It returns the loss value.
+func SoftmaxCrossEntropy(dLogits, logits []float64, target int) float64 {
+	if target < 0 || target >= len(logits) {
+		panic("nn: SoftmaxCrossEntropy target out of range")
+	}
+	mat.Softmax(dLogits, logits)
+	p := dLogits[target]
+	// Guard against log(0) from extreme logits.
+	if p < 1e-300 {
+		p = 1e-300
+	}
+	loss := -math.Log(p)
+	dLogits[target] -= 1
+	return loss
+}
+
+// MSE computes 0.5*||pred-target||^2 and writes the gradient (pred-target)
+// into dPred. dPred may alias pred.
+func MSE(dPred, pred, target []float64) float64 {
+	if len(pred) != len(target) || len(dPred) != len(pred) {
+		panic("nn: MSE length mismatch")
+	}
+	loss := 0.0
+	for i := range pred {
+		d := pred[i] - target[i]
+		loss += 0.5 * d * d
+		dPred[i] = d
+	}
+	return loss
+}

@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// toyProblem builds a 2-class linearly separable classification task and
+// returns (params, trainStep) where trainStep runs one full-batch update and
+// returns the mean loss.
+func toyProblem(opt Optimizer) (loss0, lossN float64) {
+	rng := mat.NewRNG(7)
+	l := NewLinear(rng, 2, 2)
+	params := &ParamSet{}
+	params.Add("W", l.W)
+	params.Add("B", l.B)
+	grads := params.ZeroClone()
+
+	type ex struct {
+		x []float64
+		y int
+	}
+	var data []ex
+	for i := 0; i < 40; i++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		y := 0
+		if x[0]+x[1] > 0 {
+			y = 1
+		}
+		data = append(data, ex{x, y})
+	}
+
+	step := func() float64 {
+		grads.Zero()
+		total := 0.0
+		y := make([]float64, 2)
+		dy := make([]float64, 2)
+		for _, e := range data {
+			l.Forward(y, e.x)
+			total += SoftmaxCrossEntropy(dy, y, e.y)
+			l.Backward(e.x, dy, grads.ByName("W"), grads.ByName("B"), nil)
+		}
+		mat.Scale(grads.ByName("W").Data, 1/float64(len(data)))
+		mat.Scale(grads.ByName("B").Data, 1/float64(len(data)))
+		opt.Step(params, grads)
+		return total / float64(len(data))
+	}
+
+	loss0 = step()
+	for i := 0; i < 200; i++ {
+		lossN = step()
+	}
+	return loss0, lossN
+}
+
+func TestSGDConverges(t *testing.T) {
+	loss0, lossN := toyProblem(&SGD{LR: 0.5})
+	if lossN >= loss0/2 {
+		t.Fatalf("SGD did not converge: %v -> %v", loss0, lossN)
+	}
+}
+
+func TestSGDMomentumConverges(t *testing.T) {
+	loss0, lossN := toyProblem(&SGD{LR: 0.2, Momentum: 0.9})
+	if lossN >= loss0/2 {
+		t.Fatalf("SGD+momentum did not converge: %v -> %v", loss0, lossN)
+	}
+}
+
+func TestAdamConverges(t *testing.T) {
+	loss0, lossN := toyProblem(&Adam{LR: 0.05})
+	if lossN >= loss0/2 {
+		t.Fatalf("Adam did not converge: %v -> %v", loss0, lossN)
+	}
+}
+
+func TestClipScale(t *testing.T) {
+	ps := &ParamSet{}
+	ps.Add("a", mat.NewDense(1, 2))
+	copy(ps.ByName("a").Data, []float64{3, 4}) // norm 5
+	if s := clipScale(ps, 10); s != 1 {
+		t.Fatalf("clip above norm should be 1, got %v", s)
+	}
+	if s := clipScale(ps, 2.5); s != 0.5 {
+		t.Fatalf("clip to half norm should be 0.5, got %v", s)
+	}
+	if s := clipScale(ps, 0); s != 1 {
+		t.Fatalf("clip 0 disables clipping, got %v", s)
+	}
+}
+
+func TestSGDClippedStepBounded(t *testing.T) {
+	ps := &ParamSet{}
+	ps.Add("a", mat.NewDense(1, 2))
+	grads := ps.ZeroClone()
+	copy(grads.ByName("a").Data, []float64{300, 400}) // norm 500
+	opt := &SGD{LR: 1, Clip: 1}
+	opt.Step(ps, grads)
+	// After clipping to norm 1, the step must have magnitude <= 1.
+	if n := mat.L2(ps.ByName("a").Data); n > 1+1e-9 {
+		t.Fatalf("clipped step norm = %v, want <= 1", n)
+	}
+}

@@ -1,0 +1,195 @@
+// Package nn is a small, pure-Go neural-network substrate: dense and
+// embedding layers with manual backpropagation, SGD/Adam optimizers,
+// parameter serialization and gradient compression.
+//
+// It exists because the reproduced paper's knowledge bases (KBs) are
+// deep-learning encoder/decoder models that are trained, fine-tuned per
+// user, and synchronized across edge servers by shipping gradients. This
+// package provides exactly those mechanics with no external dependencies.
+package nn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/mat"
+)
+
+// Param is one named parameter tensor. Biases are stored as 1xN matrices so
+// that every parameter flows through the same serialization, optimization
+// and compression paths.
+type Param struct {
+	Name string
+	M    *mat.Dense
+}
+
+// ParamSet is an ordered collection of named parameters. Order is
+// significant: gradients, optimizer state and serialized forms all align by
+// index.
+type ParamSet struct {
+	Params []Param
+}
+
+// Add appends a named tensor to the set.
+func (ps *ParamSet) Add(name string, m *mat.Dense) {
+	ps.Params = append(ps.Params, Param{Name: name, M: m})
+}
+
+// ByName returns the tensor with the given name, or nil if absent.
+func (ps *ParamSet) ByName(name string) *mat.Dense {
+	for _, p := range ps.Params {
+		if p.Name == name {
+			return p.M
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the set.
+func (ps *ParamSet) Clone() *ParamSet {
+	out := &ParamSet{Params: make([]Param, 0, len(ps.Params))}
+	for _, p := range ps.Params {
+		out.Add(p.Name, p.M.Clone())
+	}
+	return out
+}
+
+// ZeroClone returns a set with the same names and shapes, all values zero.
+// It is the canonical way to allocate a gradient buffer.
+func (ps *ParamSet) ZeroClone() *ParamSet {
+	out := &ParamSet{Params: make([]Param, 0, len(ps.Params))}
+	for _, p := range ps.Params {
+		out.Add(p.Name, mat.NewDense(p.M.Rows, p.M.Cols))
+	}
+	return out
+}
+
+// Zero clears every tensor in place.
+func (ps *ParamSet) Zero() {
+	for _, p := range ps.Params {
+		p.M.Zero()
+	}
+}
+
+// CopyFrom copies values from src into ps. It panics if the sets are not
+// shape-compatible.
+func (ps *ParamSet) CopyFrom(src *ParamSet) {
+	if len(ps.Params) != len(src.Params) {
+		panic("nn: CopyFrom param count mismatch")
+	}
+	for i, p := range ps.Params {
+		p.M.CopyFrom(src.Params[i].M)
+	}
+}
+
+// AddScaled accumulates ps += a*other tensor-wise. It panics on shape
+// mismatch.
+func (ps *ParamSet) AddScaled(a float64, other *ParamSet) {
+	if len(ps.Params) != len(other.Params) {
+		panic("nn: AddScaled param count mismatch")
+	}
+	for i, p := range ps.Params {
+		p.M.AddScaled(a, other.Params[i].M)
+	}
+}
+
+// NumValues returns the total number of scalar parameters.
+func (ps *ParamSet) NumValues() int {
+	n := 0
+	for _, p := range ps.Params {
+		n += len(p.M.Data)
+	}
+	return n
+}
+
+// SizeBytes returns the serialized size of the set: the true footprint a
+// model occupies in an edge cache or on the wire.
+func (ps *ParamSet) SizeBytes() int64 {
+	var n int64 = 4 // count header
+	for _, p := range ps.Params {
+		n += 2 + int64(len(p.Name)) + p.M.SizeBytes()
+	}
+	return n
+}
+
+// MaxAbs returns the largest absolute scalar across all tensors.
+func (ps *ParamSet) MaxAbs() float64 {
+	m := 0.0
+	for _, p := range ps.Params {
+		if v := mat.MaxAbs(p.M.Data); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// errBadParamSet reports a malformed serialized ParamSet.
+var errBadParamSet = errors.New("nn: malformed serialized parameter set")
+
+// WriteTo serializes the set: a uint32 tensor count, then for each tensor a
+// uint16 name length, the name bytes, and the matrix in mat binary form.
+func (ps *ParamSet) WriteTo(w io.Writer) (int64, error) {
+	var written int64
+	hdr := make([]byte, 4)
+	binary.LittleEndian.PutUint32(hdr, uint32(len(ps.Params)))
+	n, err := w.Write(hdr)
+	written += int64(n)
+	if err != nil {
+		return written, fmt.Errorf("nn: write count: %w", err)
+	}
+	for _, p := range ps.Params {
+		if len(p.Name) > 1<<16-1 {
+			return written, fmt.Errorf("nn: parameter name too long: %q", p.Name)
+		}
+		nameHdr := make([]byte, 2)
+		binary.LittleEndian.PutUint16(nameHdr, uint16(len(p.Name)))
+		n, err = w.Write(nameHdr)
+		written += int64(n)
+		if err != nil {
+			return written, fmt.Errorf("nn: write name length: %w", err)
+		}
+		n, err = io.WriteString(w, p.Name)
+		written += int64(n)
+		if err != nil {
+			return written, fmt.Errorf("nn: write name: %w", err)
+		}
+		m, err := p.M.WriteTo(w)
+		written += m
+		if err != nil {
+			return written, fmt.Errorf("nn: write tensor %q: %w", p.Name, err)
+		}
+	}
+	return written, nil
+}
+
+// ReadParamSet deserializes a set written by WriteTo.
+func ReadParamSet(r io.Reader) (*ParamSet, error) {
+	hdr := make([]byte, 4)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("nn: read count: %w", err)
+	}
+	count := binary.LittleEndian.Uint32(hdr)
+	if count > 1<<16 {
+		return nil, errBadParamSet
+	}
+	ps := &ParamSet{Params: make([]Param, 0, count)}
+	nameHdr := make([]byte, 2)
+	for i := uint32(0); i < count; i++ {
+		if _, err := io.ReadFull(r, nameHdr); err != nil {
+			return nil, fmt.Errorf("nn: read name length: %w", err)
+		}
+		nameLen := binary.LittleEndian.Uint16(nameHdr)
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, nameBuf); err != nil {
+			return nil, fmt.Errorf("nn: read name: %w", err)
+		}
+		m, err := mat.ReadDense(r)
+		if err != nil {
+			return nil, fmt.Errorf("nn: read tensor %q: %w", nameBuf, err)
+		}
+		ps.Add(string(nameBuf), m)
+	}
+	return ps, nil
+}

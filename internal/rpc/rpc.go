@@ -1,0 +1,128 @@
+// Package rpc defines the length-prefixed JSON wire protocol spoken
+// between the edged daemon and its clients: a uint32 little-endian length
+// header followed by one JSON document.
+package rpc
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxMessageBytes bounds a single wire message; larger frames are
+// rejected to keep a malformed peer from exhausting memory.
+const MaxMessageBytes = 1 << 20
+
+// Op names the request operations.
+const (
+	// OpTransmit runs one message through the semantic pipeline.
+	OpTransmit = "transmit"
+	// OpStats returns system counters.
+	OpStats = "stats"
+	// OpPing checks liveness.
+	OpPing = "ping"
+)
+
+// Request is a client-to-daemon message.
+type Request struct {
+	Op   string `json:"op"`
+	User string `json:"user,omitempty"`
+	Text string `json:"text,omitempty"`
+}
+
+// Response is a daemon-to-client message.
+type Response struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+
+	// Transmit results.
+	Restored       string  `json:"restored,omitempty"`
+	SelectedDomain string  `json:"selected_domain,omitempty"`
+	Mismatch       float64 `json:"mismatch,omitempty"`
+	PayloadBytes   int     `json:"payload_bytes,omitempty"`
+	LatencyMs      float64 `json:"latency_ms,omitempty"`
+	CacheHit       bool    `json:"cache_hit,omitempty"`
+	Individual     bool    `json:"individual_model,omitempty"`
+	UpdateFired    bool    `json:"update_fired,omitempty"`
+
+	// Stats results.
+	Stats *Stats `json:"stats,omitempty"`
+}
+
+// Stats reports daemon counters.
+type Stats struct {
+	Messages       int     `json:"messages"`
+	SenderHitRate  float64 `json:"sender_hit_rate"`
+	SyncBytes      int64   `json:"sync_bytes"`
+	SyncCount      int     `json:"sync_count"`
+	CachedModels   int     `json:"cached_models"`
+	CacheUsedBytes int64   `json:"cache_used_bytes"`
+}
+
+// errFrameTooLarge reports an oversized wire frame.
+var errFrameTooLarge = errors.New("rpc: frame exceeds MaxMessageBytes")
+
+// Write marshals v and writes one framed message.
+func Write(w io.Writer, v interface{}) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("rpc: marshal: %w", err)
+	}
+	if len(payload) > MaxMessageBytes {
+		return errFrameTooLarge
+	}
+	hdr := make([]byte, 4)
+	binary.LittleEndian.PutUint32(hdr, uint32(len(payload)))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("rpc: write header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("rpc: write payload: %w", err)
+	}
+	return nil
+}
+
+// read reads one framed payload.
+func read(r io.Reader) ([]byte, error) {
+	hdr := make([]byte, 4)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err // io.EOF passes through for clean shutdown
+	}
+	n := binary.LittleEndian.Uint32(hdr)
+	if n > MaxMessageBytes {
+		return nil, errFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("rpc: read payload: %w", err)
+	}
+	return payload, nil
+}
+
+// ReadRequest reads one framed Request.
+func ReadRequest(r io.Reader) (*Request, error) {
+	payload, err := read(r)
+	if err != nil {
+		return nil, err
+	}
+	var req Request
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return nil, fmt.Errorf("rpc: unmarshal request: %w", err)
+	}
+	return &req, nil
+}
+
+// ReadResponse reads one framed Response.
+func ReadResponse(r io.Reader) (*Response, error) {
+	payload, err := read(r)
+	if err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		return nil, fmt.Errorf("rpc: unmarshal response: %w", err)
+	}
+	return &resp, nil
+}

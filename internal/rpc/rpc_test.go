@@ -1,0 +1,119 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := &Request{Op: OpTransmit, User: "alice", Text: "the server is down"}
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadRequest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *out != *in {
+		t.Fatalf("round trip %+v != %+v", out, in)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := &Response{OK: true, Restored: "the server is down", SelectedDomain: "it",
+		PayloadBytes: 25, LatencyMs: 14.2, Stats: &Stats{Messages: 3}}
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadResponse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Restored != in.Restored || out.Stats.Messages != 3 {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestReadRejectsOversizedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	hdr := make([]byte, 4)
+	binary.LittleEndian.PutUint32(hdr, MaxMessageBytes+1)
+	buf.Write(hdr)
+	if _, err := ReadRequest(&buf); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestReadTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	hdr := make([]byte, 4)
+	binary.LittleEndian.PutUint32(hdr, 100)
+	buf.Write(hdr)
+	buf.WriteString("short")
+	if _, err := ReadRequest(&buf); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestReadEOFPassthrough(t *testing.T) {
+	if _, err := ReadRequest(bytes.NewReader(nil)); err != io.EOF {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestReadGarbageJSON(t *testing.T) {
+	var buf bytes.Buffer
+	hdr := make([]byte, 4)
+	binary.LittleEndian.PutUint32(hdr, 4)
+	buf.Write(hdr)
+	buf.WriteString("]]]]")
+	if _, err := ReadRequest(&buf); err == nil {
+		t.Fatal("garbage JSON accepted")
+	}
+}
+
+func TestOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		req, err := ReadRequest(conn)
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- Write(conn, &Response{OK: true, Restored: req.Text})
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := Write(conn, &Request{Op: OpPing, Text: "hello"}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ReadResponse(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || resp.Restored != "hello" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,249 @@
+// Package semantic implements the knowledge-base (KB) encoder/decoder pair
+// at the core of the semantic communication workflow: semantic encoding
+// extracts per-token feature vectors from a message; semantic decoding
+// restores the meaning (domain concepts) from possibly noise-corrupted
+// features.
+//
+// A Codec is a domain-specialized bottleneck network:
+//
+//	surface id -> Embedding -> Linear -> tanh  = feature vector  (encoder)
+//	feature    -> Linear -> tanh -> Linear -> softmax over concepts (decoder)
+//
+// Features are bounded in (-1,1) by the tanh, which lets the channel layer
+// quantize them uniformly. Training is denoising: Gaussian noise is added
+// to features so decoding stays robust under channel corruption, mirroring
+// how DeepSC-style systems train through the channel.
+package semantic
+
+import (
+	"fmt"
+
+	"repro/internal/corpus"
+	"repro/internal/mat"
+	"repro/internal/nn"
+)
+
+// Config sets codec hyper-parameters. The zero value selects the defaults
+// used throughout the experiments.
+type Config struct {
+	EmbedDim   int     // token embedding width (default 16)
+	FeatureDim int     // transmitted feature width (default 8)
+	HiddenDim  int     // decoder hidden width (default 24)
+	NoiseStd   float64 // training-time feature noise (default 0.20)
+	LR         float64 // optimizer learning rate (default 0.03)
+	Epochs     int     // pretraining epochs (default 5)
+	Sentences  int     // pretraining sentences (default 1000)
+	Seed       uint64  // weight-init / training seed (default 1)
+}
+
+// withDefaults returns cfg with zero fields replaced by defaults.
+func (cfg Config) withDefaults() Config {
+	if cfg.EmbedDim == 0 {
+		cfg.EmbedDim = 16
+	}
+	if cfg.FeatureDim == 0 {
+		cfg.FeatureDim = 8
+	}
+	if cfg.HiddenDim == 0 {
+		cfg.HiddenDim = 24
+	}
+	if cfg.NoiseStd == 0 {
+		cfg.NoiseStd = 0.20
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 0.03
+	}
+	if cfg.Epochs == 0 {
+		cfg.Epochs = 5
+	}
+	if cfg.Sentences == 0 {
+		cfg.Sentences = 1000
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return cfg
+}
+
+// Parameter tensor names. The decoder names are what the federated-style
+// update process ships between edge servers.
+const (
+	ParamEncEmb = "enc.emb"
+	ParamEncW   = "enc.w"
+	ParamEncB   = "enc.b"
+	ParamDecW   = "dec.w"
+	ParamDecB   = "dec.b"
+	ParamOutW   = "out.w"
+	ParamOutB   = "out.b"
+)
+
+// Codec is a domain-specialized semantic encoder/decoder pair.
+type Codec struct {
+	domain *corpus.Domain
+	cfg    Config
+
+	emb *nn.Embedding // vocab x E
+	enc *nn.Linear    // E -> F
+	dec *nn.Linear    // F -> H
+	out *nn.Linear    // H -> concepts
+}
+
+// NewCodec builds an untrained codec for domain d.
+func NewCodec(d *corpus.Domain, cfg Config) *Codec {
+	cfg = cfg.withDefaults()
+	rng := mat.NewRNG(cfg.Seed)
+	return &Codec{
+		domain: d,
+		cfg:    cfg,
+		emb:    nn.NewEmbedding(rng, d.VocabSize(), cfg.EmbedDim),
+		enc:    nn.NewLinear(rng, cfg.EmbedDim, cfg.FeatureDim),
+		dec:    nn.NewLinear(rng, cfg.FeatureDim, cfg.HiddenDim),
+		out:    nn.NewLinear(rng, cfg.HiddenDim, d.NumConcepts()),
+	}
+}
+
+// Domain returns the domain the codec specializes in.
+func (c *Codec) Domain() *corpus.Domain { return c.domain }
+
+// Config returns the effective configuration.
+func (c *Codec) Config() Config { return c.cfg }
+
+// FeatureDim returns the width of transmitted feature vectors.
+func (c *Codec) FeatureDim() int { return c.cfg.FeatureDim }
+
+// Params returns the full parameter set (shared storage, not a copy).
+func (c *Codec) Params() *nn.ParamSet {
+	ps := &nn.ParamSet{}
+	ps.Add(ParamEncEmb, c.emb.Table)
+	ps.Add(ParamEncW, c.enc.W)
+	ps.Add(ParamEncB, c.enc.B)
+	ps.Add(ParamDecW, c.dec.W)
+	ps.Add(ParamDecB, c.dec.B)
+	ps.Add(ParamOutW, c.out.W)
+	ps.Add(ParamOutB, c.out.B)
+	return ps
+}
+
+// EncoderParams returns the encoder-side tensors (shared storage).
+func (c *Codec) EncoderParams() *nn.ParamSet {
+	ps := &nn.ParamSet{}
+	ps.Add(ParamEncEmb, c.emb.Table)
+	ps.Add(ParamEncW, c.enc.W)
+	ps.Add(ParamEncB, c.enc.B)
+	return ps
+}
+
+// DecoderParams returns the decoder-side tensors (shared storage). These
+// are the tensors synchronized to the receiver edge in the update process.
+func (c *Codec) DecoderParams() *nn.ParamSet {
+	ps := &nn.ParamSet{}
+	ps.Add(ParamDecW, c.dec.W)
+	ps.Add(ParamDecB, c.dec.B)
+	ps.Add(ParamOutW, c.out.W)
+	ps.Add(ParamOutB, c.out.B)
+	return ps
+}
+
+// Clone returns a deep copy of the codec. Individual (user-specific) models
+// start as clones of the domain's general model, exactly as in the paper's
+// Fig. 1 step 2.
+func (c *Codec) Clone() *Codec {
+	return &Codec{
+		domain: c.domain,
+		cfg:    c.cfg,
+		emb:    &nn.Embedding{Table: c.emb.Table.Clone()},
+		enc:    &nn.Linear{W: c.enc.W.Clone(), B: c.enc.B.Clone()},
+		dec:    &nn.Linear{W: c.dec.W.Clone(), B: c.dec.B.Clone()},
+		out:    &nn.Linear{W: c.out.W.Clone(), B: c.out.B.Clone()},
+	}
+}
+
+// SizeBytes returns the serialized size of all parameters: the footprint
+// the codec occupies in an edge cache.
+func (c *Codec) SizeBytes() int64 { return c.Params().SizeBytes() }
+
+// EncoderSizeBytes returns the serialized size of the encoder tensors.
+func (c *Codec) EncoderSizeBytes() int64 { return c.EncoderParams().SizeBytes() }
+
+// DecoderSizeBytes returns the serialized size of the decoder tensors.
+func (c *Codec) DecoderSizeBytes() int64 { return c.DecoderParams().SizeBytes() }
+
+// EncodeSurfaceID computes the feature vector for one local surface ID.
+func (c *Codec) EncodeSurfaceID(id int, dst []float64) {
+	if len(dst) != c.cfg.FeatureDim {
+		panic("semantic: EncodeSurfaceID dst length mismatch")
+	}
+	if id < 0 || id >= c.emb.Vocab() {
+		id = corpus.UnknownSurfaceID
+	}
+	c.enc.Forward(dst, c.emb.Lookup(id))
+	nn.TanhForward(dst, dst)
+}
+
+// EncodeWords encodes a token sequence into per-token feature vectors.
+// Words outside the domain lexicon encode as the unknown surface.
+func (c *Codec) EncodeWords(words []string) [][]float64 {
+	feats := make([][]float64, len(words))
+	for i, w := range words {
+		f := make([]float64, c.cfg.FeatureDim)
+		c.EncodeSurfaceID(c.domain.SurfaceID(w), f)
+		feats[i] = f
+	}
+	return feats
+}
+
+// DecodeFeature returns the most likely concept index for one feature
+// vector.
+func (c *Codec) DecodeFeature(feat []float64) int {
+	h := make([]float64, c.cfg.HiddenDim)
+	c.dec.Forward(h, feat)
+	nn.TanhForward(h, h)
+	logits := make([]float64, c.domain.NumConcepts())
+	c.out.Forward(logits, h)
+	return mat.Argmax(logits)
+}
+
+// DecodeFeatures decodes a feature sequence into concept indices.
+func (c *Codec) DecodeFeatures(feats [][]float64) []int {
+	out := make([]int, len(feats))
+	for i, f := range feats {
+		out[i] = c.DecodeFeature(f)
+	}
+	return out
+}
+
+// RestoreWords renders concept indices as canonical surface forms: the
+// restored message shown to the receiving user.
+func (c *Codec) RestoreWords(concepts []int) []string {
+	out := make([]string, len(concepts))
+	for i, ci := range concepts {
+		out[i] = c.domain.Canonical(ci)
+	}
+	return out
+}
+
+// RoundTrip encodes then decodes words with no channel in between; it is
+// the sender-edge "decoder copy" computation from the paper's §II-C used
+// for mismatch calculation.
+func (c *Codec) RoundTrip(words []string) []int {
+	return c.DecodeFeatures(c.EncodeWords(words))
+}
+
+// Validate performs internal shape consistency checks, returning an error
+// describing the first violation. It is cheap and intended for use after
+// deserialization.
+func (c *Codec) Validate() error {
+	if c.emb.Dim() != c.enc.In() {
+		return fmt.Errorf("semantic: embedding dim %d != encoder in %d", c.emb.Dim(), c.enc.In())
+	}
+	if c.enc.Out() != c.dec.In() {
+		return fmt.Errorf("semantic: encoder out %d != decoder in %d", c.enc.Out(), c.dec.In())
+	}
+	if c.dec.Out() != c.out.In() {
+		return fmt.Errorf("semantic: decoder hidden %d != output in %d", c.dec.Out(), c.out.In())
+	}
+	if c.out.Out() != c.domain.NumConcepts() {
+		return fmt.Errorf("semantic: output dim %d != concepts %d", c.out.Out(), c.domain.NumConcepts())
+	}
+	return nil
+}

@@ -1,0 +1,246 @@
+package semantic
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/mat"
+	"repro/internal/nn"
+)
+
+// testConfig keeps unit-test training fast.
+func testConfig() Config {
+	return Config{
+		EmbedDim:   12,
+		FeatureDim: 8,
+		HiddenDim:  16,
+		Epochs:     3,
+		Sentences:  500,
+		Seed:       7,
+	}
+}
+
+var (
+	corpOnce   sync.Once
+	sharedCorp *corpus.Corpus
+	itCodec    *Codec
+)
+
+// sharedFixtures pretrains a single IT-domain codec reused by read-only
+// tests to keep the suite fast.
+func sharedFixtures(t *testing.T) (*corpus.Corpus, *Codec) {
+	t.Helper()
+	corpOnce.Do(func() {
+		sharedCorp = corpus.Build()
+		itCodec = Pretrain(sharedCorp.Domain("it"), sharedCorp, testConfig())
+	})
+	return sharedCorp, itCodec
+}
+
+func TestNewCodecShapes(t *testing.T) {
+	corp := corpus.Build()
+	d := corp.Domain("medical")
+	c := NewCodec(d, testConfig())
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if c.FeatureDim() != 8 {
+		t.Fatalf("FeatureDim = %d", c.FeatureDim())
+	}
+	ps := c.Params()
+	if len(ps.Params) != 7 {
+		t.Fatalf("param tensors = %d, want 7", len(ps.Params))
+	}
+	if c.SizeBytes() <= 0 || c.EncoderSizeBytes() <= 0 || c.DecoderSizeBytes() <= 0 {
+		t.Fatal("non-positive size accounting")
+	}
+	if c.EncoderSizeBytes()+c.DecoderSizeBytes() != c.SizeBytes()+4 {
+		// Each subset carries its own 4-byte count header, so the two
+		// halves overlap the full set's single header by exactly 4 bytes.
+		t.Fatalf("size split inconsistent: enc %d + dec %d vs all %d",
+			c.EncoderSizeBytes(), c.DecoderSizeBytes(), c.SizeBytes())
+	}
+}
+
+func TestPretrainLearnsReconstruction(t *testing.T) {
+	corp, c := sharedFixtures(t)
+	d := corp.Domain("it")
+	gen := corpus.NewGenerator(corp, mat.NewRNG(1234))
+	var examples []Example
+	for _, m := range gen.Batch(d.Index, 150, nil) {
+		examples = append(examples, ExamplesFromMessage(d, m)...)
+	}
+	acc := c.Evaluate(examples)
+	if acc < 0.85 {
+		t.Fatalf("pretrained reconstruction accuracy = %v, want >= 0.85", acc)
+	}
+}
+
+func TestRoundTripMatchesEncodeDecode(t *testing.T) {
+	corp, c := sharedFixtures(t)
+	gen := corpus.NewGenerator(corp, mat.NewRNG(55))
+	m := gen.Message(corp.Domain("it").Index, nil)
+	got := c.RoundTrip(m.Words)
+	want := c.DecodeFeatures(c.EncodeWords(m.Words))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("RoundTrip disagrees with Encode+Decode")
+		}
+	}
+}
+
+func TestFeaturesBounded(t *testing.T) {
+	corp, c := sharedFixtures(t)
+	gen := corpus.NewGenerator(corp, mat.NewRNG(77))
+	for i := 0; i < 20; i++ {
+		m := gen.Message(corp.Domain("it").Index, nil)
+		for _, f := range c.EncodeWords(m.Words) {
+			for _, v := range f {
+				if v < -1 || v > 1 {
+					t.Fatalf("feature %v outside [-1,1]", v)
+				}
+			}
+		}
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	_, c := sharedFixtures(t)
+	clone := c.Clone()
+	orig := c.Params().ByName(ParamDecW).Data[0]
+	clone.Params().ByName(ParamDecW).Data[0] = orig + 42
+	if c.Params().ByName(ParamDecW).Data[0] != orig {
+		t.Fatal("Clone shares decoder storage")
+	}
+}
+
+func TestUnknownWordEncodesAsUnknown(t *testing.T) {
+	corp, c := sharedFixtures(t)
+	d := corp.Domain("it")
+	fUnknown := make([]float64, c.FeatureDim())
+	c.EncodeSurfaceID(d.SurfaceID("notaword12345"), fUnknown)
+	fUnk := make([]float64, c.FeatureDim())
+	c.EncodeSurfaceID(corpus.UnknownSurfaceID, fUnk)
+	for i := range fUnk {
+		if fUnknown[i] != fUnk[i] {
+			t.Fatal("out-of-lexicon word did not encode as unknown surface")
+		}
+	}
+}
+
+func TestDecoderSyncViaDelta(t *testing.T) {
+	// A receiver holding a stale decoder copy must, after applying the
+	// sender's decoder delta, decode identically to the sender — the
+	// §II-C/§II-D consistency property the whole update process relies on.
+	corp, c := sharedFixtures(t)
+	d := corp.Domain("it")
+	sender := c.Clone()
+	receiver := c.Clone()
+
+	// Fine-tune the sender's individual model.
+	gen := corpus.NewGenerator(corp, mat.NewRNG(9))
+	idio := corpus.NewIdiolect(corp, mat.NewRNG(10), 0.4)
+	var examples []Example
+	for _, m := range gen.Batch(d.Index, 60, idio) {
+		examples = append(examples, ExamplesFromMessage(d, m)...)
+	}
+	before := sender.DecoderParams().Clone()
+	sender.FineTune(examples, 2, 0.02, mat.NewRNG(11))
+
+	// Delta = after - before, shipped and applied to the receiver.
+	delta := sender.DecoderParams().Clone()
+	delta.AddScaled(-1, before)
+	cg := nn.Compress(delta, nn.CompressOptions{})
+	if err := cg.ApplyTo(receiver.DecoderParams(), 1); err != nil {
+		t.Fatalf("apply delta: %v", err)
+	}
+
+	// Sender and receiver decoders must now agree everywhere.
+	for i := 0; i < 40; i++ {
+		m := gen.Message(d.Index, idio)
+		feats := sender.EncodeWords(m.Words)
+		a := sender.DecodeFeatures(feats)
+		b := receiver.DecodeFeatures(feats)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatal("receiver decoder diverged after delta sync")
+			}
+		}
+	}
+}
+
+func TestPersonalizationReducesIdiolectMismatch(t *testing.T) {
+	// The paper's §II-B claim: general models mis-handle user idiolects;
+	// user-specific individual models fix this.
+	corp, general := sharedFixtures(t)
+	d := corp.Domain("it")
+	rng := mat.NewRNG(42)
+	idio := corpus.NewIdiolect(corp, rng.Split(), 0.5)
+	gen := corpus.NewGenerator(corp, rng.Split())
+
+	var train, test []Example
+	for _, m := range gen.Batch(d.Index, 120, idio) {
+		train = append(train, ExamplesFromMessage(d, m)...)
+	}
+	for _, m := range gen.Batch(d.Index, 80, idio) {
+		test = append(test, ExamplesFromMessage(d, m)...)
+	}
+
+	generalAcc := general.Evaluate(test)
+	individual := general.Clone()
+	individual.FineTune(train, 4, 0.03, rng.Split())
+	individualAcc := individual.Evaluate(test)
+
+	if individualAcc <= generalAcc {
+		t.Fatalf("personalization did not help: general %v, individual %v", generalAcc, individualAcc)
+	}
+	if individualAcc-generalAcc < 0.03 {
+		t.Fatalf("personalization gain too small: general %v, individual %v", generalAcc, individualAcc)
+	}
+}
+
+func TestPolysemyDecodesPerDomain(t *testing.T) {
+	// "bus" must restore to "interconnect" under the IT codec and to
+	// "shuttle" under the travel codec — the paper's motivating example.
+	corp, itC := sharedFixtures(t)
+	cfg := testConfig()
+	travelC := Pretrain(corp.Domain("travel"), corp, cfg)
+
+	itConcepts := itC.RoundTrip([]string{"bus"})
+	travelConcepts := travelC.RoundTrip([]string{"bus"})
+	itWord := itC.RestoreWords(itConcepts)[0]
+	travelWord := travelC.RestoreWords(travelConcepts)[0]
+	if itWord != "interconnect" {
+		t.Errorf("IT codec restored bus -> %q, want interconnect", itWord)
+	}
+	if travelWord != "shuttle" {
+		t.Errorf("travel codec restored bus -> %q, want shuttle", travelWord)
+	}
+}
+
+func TestTrainEpochEmptyExamples(t *testing.T) {
+	corp := corpus.Build()
+	c := NewCodec(corp.Domain("it"), testConfig())
+	res := c.TrainEpoch(nil, &nn.SGD{LR: 0.1}, mat.NewRNG(1), 0)
+	if res.MeanLoss != 0 || res.Accuracy != 0 {
+		t.Fatalf("empty epoch result = %+v", res)
+	}
+}
+
+func TestPretrainDeterministic(t *testing.T) {
+	corp := corpus.Build()
+	cfg := testConfig()
+	cfg.Sentences = 100
+	cfg.Epochs = 1
+	a := Pretrain(corp.Domain("news"), corp, cfg)
+	b := Pretrain(corp.Domain("news"), corp, cfg)
+	pa, pb := a.Params(), b.Params()
+	for i := range pa.Params {
+		for j := range pa.Params[i].M.Data {
+			if pa.Params[i].M.Data[j] != pb.Params[i].M.Data[j] {
+				t.Fatal("Pretrain is not deterministic")
+			}
+		}
+	}
+}

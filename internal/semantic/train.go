@@ -1,0 +1,186 @@
+package semantic
+
+import (
+	"repro/internal/corpus"
+	"repro/internal/mat"
+	"repro/internal/nn"
+)
+
+// Example is one supervised training pair: a surface ID observed on the
+// sender side and the concept it expresses according to the domain KB.
+type Example struct {
+	SurfaceID int
+	ConceptID int
+}
+
+// ExamplesFromMessage expands a generated message into per-token training
+// examples for the codec of its domain.
+func ExamplesFromMessage(d *corpus.Domain, m corpus.Message) []Example {
+	out := make([]Example, 0, len(m.Words))
+	for i, w := range m.Words {
+		out = append(out, Example{SurfaceID: d.SurfaceID(w), ConceptID: m.ConceptIDs[i]})
+	}
+	return out
+}
+
+// TrainResult summarizes one training epoch.
+type TrainResult struct {
+	MeanLoss float64
+	Accuracy float64
+}
+
+// TrainEpoch runs one stochastic epoch over examples, updating the codec's
+// parameters in place through opt. rng drives example shuffling and the
+// denoising feature noise; noiseStd <= 0 disables noise injection.
+func (c *Codec) TrainEpoch(examples []Example, opt nn.Optimizer, rng *mat.RNG, noiseStd float64) TrainResult {
+	params := c.Params()
+	grads := params.ZeroClone()
+	gEmb := grads.ByName(ParamEncEmb)
+	gEncW := grads.ByName(ParamEncW)
+	gEncB := grads.ByName(ParamEncB)
+	gDecW := grads.ByName(ParamDecW)
+	gDecB := grads.ByName(ParamDecB)
+	gOutW := grads.ByName(ParamOutW)
+	gOutB := grads.ByName(ParamOutB)
+
+	F, H := c.cfg.FeatureDim, c.cfg.HiddenDim
+	V := c.domain.NumConcepts()
+	pre := make([]float64, F)     // encoder pre-activation
+	feat := make([]float64, F)    // tanh feature
+	noisy := make([]float64, F)   // channel-noised feature
+	hPre := make([]float64, H)    // decoder pre-activation
+	h := make([]float64, H)       // decoder hidden
+	logits := make([]float64, V)  // concept logits
+	dLogits := make([]float64, V) // CE gradient
+	dH := make([]float64, H)
+	dFeat := make([]float64, F)
+	dEmb := make([]float64, c.cfg.EmbedDim)
+
+	order := rng.Perm(len(examples))
+	totalLoss := 0.0
+	correct := 0
+	const batch = 8
+	inBatch := 0
+	for _, oi := range order {
+		ex := examples[oi]
+		// Forward: encoder.
+		x := c.emb.Lookup(ex.SurfaceID)
+		c.enc.Forward(pre, x)
+		nn.TanhForward(feat, pre)
+		// Channel-noise injection (denoising training).
+		copy(noisy, feat)
+		if noiseStd > 0 {
+			for i := range noisy {
+				noisy[i] += noiseStd * rng.NormFloat64()
+			}
+		}
+		// Forward: decoder.
+		c.dec.Forward(hPre, noisy)
+		nn.TanhForward(h, hPre)
+		c.out.Forward(logits, h)
+		if mat.Argmax(logits) == ex.ConceptID {
+			correct++
+		}
+		totalLoss += nn.SoftmaxCrossEntropy(dLogits, logits, ex.ConceptID)
+		// Backward: decoder.
+		c.out.Backward(h, dLogits, gOutW, gOutB, dH)
+		nn.TanhBackward(dH, h, dH)
+		c.dec.Backward(noisy, dH, gDecW, gDecB, dFeat)
+		// Backward through the (noise-free) tanh feature into the encoder.
+		nn.TanhBackward(dFeat, feat, dFeat)
+		c.enc.Backward(x, dFeat, gEncW, gEncB, dEmb)
+		c.emb.AccumulateGrad(gEmb, ex.SurfaceID, dEmb)
+
+		inBatch++
+		if inBatch == batch {
+			scaleGrads(grads, 1/float64(batch))
+			opt.Step(params, grads)
+			grads.Zero()
+			inBatch = 0
+		}
+	}
+	if inBatch > 0 {
+		scaleGrads(grads, 1/float64(inBatch))
+		opt.Step(params, grads)
+	}
+	n := float64(len(examples))
+	if n == 0 {
+		return TrainResult{}
+	}
+	return TrainResult{MeanLoss: totalLoss / n, Accuracy: float64(correct) / n}
+}
+
+// scaleGrads multiplies every gradient tensor by s.
+func scaleGrads(grads *nn.ParamSet, s float64) {
+	for _, p := range grads.Params {
+		mat.Scale(p.M.Data, s)
+	}
+}
+
+// Evaluate measures reconstruction concept accuracy over examples without
+// updating parameters and without noise.
+func (c *Codec) Evaluate(examples []Example) float64 {
+	if len(examples) == 0 {
+		return 0
+	}
+	correct := 0
+	feat := make([]float64, c.cfg.FeatureDim)
+	for _, ex := range examples {
+		c.EncodeSurfaceID(ex.SurfaceID, feat)
+		if c.DecodeFeature(feat) == ex.ConceptID {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(examples))
+}
+
+// Pretrain trains a fresh general codec for domain d on generated traffic
+// with no idiolect. It is deterministic given cfg.Seed.
+func Pretrain(d *corpus.Domain, corp *corpus.Corpus, cfg Config) *Codec {
+	cfg = cfg.withDefaults()
+	c := NewCodec(d, cfg)
+	rng := mat.NewRNG(cfg.Seed + uint64(d.Index)*1009)
+	gen := corpus.NewGenerator(corp, rng.Split())
+	gen.Balanced = true // KBs pretrain on broad, balanced domain corpora
+	// General corpora do not cover personal rare-synonym vocabulary: tail
+	// surfaces stay untrained in the general model. The resulting mismatch
+	// on idiolect-bearing traffic is exactly what §II-B's user-specific
+	// individual models exist to fix.
+	gen.TailProb = 0
+	msgs := gen.Batch(d.Index, cfg.Sentences, nil)
+	var examples []Example
+	for _, m := range msgs {
+		examples = append(examples, ExamplesFromMessage(d, m)...)
+	}
+	opt := &nn.Adam{LR: cfg.LR, Clip: 5}
+	trainRNG := rng.Split()
+	for e := 0; e < cfg.Epochs; e++ {
+		c.TrainEpoch(examples, opt, trainRNG, cfg.NoiseStd)
+	}
+	return c
+}
+
+// PretrainAll builds one general codec per domain, in domain order.
+func PretrainAll(corp *corpus.Corpus, cfg Config) []*Codec {
+	out := make([]*Codec, len(corp.Domains))
+	for i, d := range corp.Domains {
+		out[i] = Pretrain(d, corp, cfg)
+	}
+	return out
+}
+
+// FineTune adapts a codec (typically a Clone of the general model) on a
+// user's buffered traffic for the given number of epochs, returning the
+// final epoch's result. This is the individual-model update step of the
+// paper's §II-D.
+func (c *Codec) FineTune(examples []Example, epochs int, lr float64, rng *mat.RNG) TrainResult {
+	if lr <= 0 {
+		lr = c.cfg.LR / 2
+	}
+	opt := &nn.SGD{LR: lr, Momentum: 0.5, Clip: 5}
+	var res TrainResult
+	for e := 0; e < epochs; e++ {
+		res = c.TrainEpoch(examples, opt, rng, c.cfg.NoiseStd/2)
+	}
+	return res
+}

@@ -1,0 +1,119 @@
+// Package sim is a minimal deterministic discrete-event simulation engine:
+// a virtual clock and an event queue with stable ordering. Experiments use
+// it to account for compute, queueing and transfer latency without any
+// wall-clock dependence.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"time"
+)
+
+// errPastEvent reports scheduling into the past.
+var errPastEvent = errors.New("sim: cannot schedule event before current time")
+
+// event is one scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+// eventHeap orders events by time, then insertion sequence (stable).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Engine runs events in virtual time. It is not safe for concurrent use:
+// simulations are single-threaded by design for determinism.
+type Engine struct {
+	now    time.Duration
+	queue  eventHeap
+	seq    uint64
+	ran    uint64
+	maxLen int
+}
+
+// NewEngine returns an engine at virtual time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.ran }
+
+// Schedule queues fn to run after delay. Negative delays are an error.
+func (e *Engine) Schedule(delay time.Duration, fn func()) error {
+	if delay < 0 {
+		return errPastEvent
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt queues fn at an absolute virtual time, which must not precede
+// the current time.
+func (e *Engine) ScheduleAt(at time.Duration, fn func()) error {
+	if at < e.now {
+		return errPastEvent
+	}
+	e.seq++
+	heap.Push(&e.queue, event{at: at, seq: e.seq, fn: fn})
+	if len(e.queue) > e.maxLen {
+		e.maxLen = len(e.queue)
+	}
+	return nil
+}
+
+// Step executes the next event, advancing the clock. It returns false when
+// the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(event)
+	e.now = ev.at
+	e.ran++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains, returning the final time.
+func (e *Engine) Run() time.Duration {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with time <= deadline, then sets the clock to
+// deadline if it has not passed it. Events scheduled later stay queued.
+func (e *Engine) RunUntil(deadline time.Duration) time.Duration {
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScheduleAndRun(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	if err := e.Schedule(20*time.Millisecond, func() { order = append(order, 2) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Schedule(10*time.Millisecond, func() { order = append(order, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	end := e.Run()
+	if end != 20*time.Millisecond {
+		t.Fatalf("final time = %v", end)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Processed() != 2 {
+		t.Fatalf("Processed = %d", e.Processed())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		if err := e.Schedule(time.Millisecond, func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestScheduleNegativeDelay(t *testing.T) {
+	e := NewEngine()
+	if err := e.Schedule(-time.Millisecond, func() {}); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+}
+
+func TestScheduleAtPast(t *testing.T) {
+	e := NewEngine()
+	if err := e.Schedule(10*time.Millisecond, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if err := e.ScheduleAt(5*time.Millisecond, func() {}); err == nil {
+		t.Fatal("past ScheduleAt accepted")
+	}
+}
+
+func TestEventsScheduleMoreEvents(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	var chain func()
+	count := 0
+	chain = func() {
+		fired = append(fired, e.Now())
+		count++
+		if count < 3 {
+			if err := e.Schedule(5*time.Millisecond, chain); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	if err := e.Schedule(5*time.Millisecond, chain); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	want := []time.Duration{5 * time.Millisecond, 10 * time.Millisecond, 15 * time.Millisecond}
+	if len(fired) != 3 {
+		t.Fatalf("fired = %v", fired)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	for _, d := range []time.Duration{1, 2, 3, 10, 20} {
+		if err := e.Schedule(d*time.Millisecond, func() { ran++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.RunUntil(5 * time.Millisecond)
+	if ran != 3 {
+		t.Fatalf("ran = %d events by t=5ms, want 3", ran)
+	}
+	if e.Now() != 5*time.Millisecond {
+		t.Fatalf("Now = %v, want 5ms", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+	e.Run()
+	if ran != 5 {
+		t.Fatalf("ran = %d after full Run", ran)
+	}
+}
+
+func TestStepEmptyQueue(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+	if e.Now() != 0 {
+		t.Fatal("clock moved with no events")
+	}
+}
+
+func TestManyEventsDeterministic(t *testing.T) {
+	run := func() []time.Duration {
+		e := NewEngine()
+		var fired []time.Duration
+		for i := 0; i < 100; i++ {
+			d := time.Duration((i*37)%50) * time.Millisecond
+			if err := e.Schedule(d, func() { fired = append(fired, e.Now()) }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e.Run()
+		return fired
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("engine not deterministic")
+		}
+	}
+	// Times must be non-decreasing.
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			t.Fatal("event times not monotone")
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package text
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want []string
+	}{
+		{"simple", "the quick fox", []string{"the", "quick", "fox"}},
+		{"case folding", "The QUICK Fox", []string{"the", "quick", "fox"}},
+		{"punctuation", "hello, world! a-b", []string{"hello", "world", "a", "b"}},
+		{"digits", "port 8080 open", []string{"port", "8080", "open"}},
+		{"empty", "", nil},
+		{"only punctuation", "?!,.", nil},
+		{"leading trailing space", "  padded  ", []string{"padded"}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Tokenize(tc.in)
+			if len(got) == 0 && len(tc.want) == 0 {
+				return
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("Tokenize(%q) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestVocabAddIdempotent(t *testing.T) {
+	v := NewVocab()
+	a := v.Add("alpha")
+	b := v.Add("alpha")
+	if a != b {
+		t.Fatalf("Add not idempotent: %d vs %d", a, b)
+	}
+	if v.Size() != 2 { // <unk> + alpha
+		t.Fatalf("Size = %d, want 2", v.Size())
+	}
+}
+
+func TestVocabUnknown(t *testing.T) {
+	v := NewVocab()
+	if v.ID("missing") != UnknownID {
+		t.Fatal("missing word should map to UnknownID")
+	}
+	if v.Word(UnknownID) != UnknownWord {
+		t.Fatal("UnknownID should map to UnknownWord")
+	}
+	if v.Word(-1) != UnknownWord || v.Word(9999) != UnknownWord {
+		t.Fatal("out-of-range IDs should map to UnknownWord")
+	}
+	if v.Has("missing") {
+		t.Fatal("Has(missing) = true")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	v := NewVocab()
+	for _, w := range []string{"semantic", "edge", "cache"} {
+		v.Add(w)
+	}
+	ids := v.Encode("semantic edge cache")
+	if got := v.Decode(ids); got != "semantic edge cache" {
+		t.Fatalf("round trip = %q", got)
+	}
+}
+
+func TestEncodeUnknownWords(t *testing.T) {
+	v := NewVocab()
+	v.Add("known")
+	ids := v.Encode("known stranger")
+	if ids[0] == UnknownID || ids[1] != UnknownID {
+		t.Fatalf("Encode = %v", ids)
+	}
+}
+
+func TestWordsCopy(t *testing.T) {
+	v := NewVocab()
+	v.Add("x")
+	w := v.Words()
+	w[0] = "mutated"
+	if v.Word(0) != UnknownWord {
+		t.Fatal("Words() leaked internal storage")
+	}
+}
+
+// Property: every token produced by Tokenize is non-empty and lower-case,
+// and re-tokenizing a joined token stream is the identity.
+func TestTokenizeQuick(t *testing.T) {
+	f := func(s string) bool {
+		toks := Tokenize(s)
+		for _, tok := range toks {
+			if tok == "" {
+				return false
+			}
+			if Tokenize(tok)[0] != tok {
+				return false
+			}
+		}
+		again := Tokenize(Join(toks))
+		return reflect.DeepEqual(again, toks) || (len(again) == 0 && len(toks) == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

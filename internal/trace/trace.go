@@ -1,0 +1,138 @@
+// Package trace generates reproducible communication workloads: users with
+// personal idiolects emitting messages whose topics arrive in sticky runs
+// with Zipf-distributed domain popularity. Every experiment consumes its
+// traffic from here so workload assumptions live in one place.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/corpus"
+	"repro/internal/mat"
+)
+
+// Request is one message emission by a user.
+type Request struct {
+	// Seq is the global request index, starting at 0.
+	Seq int
+	// User is the sending user's name.
+	User string
+	// Msg is the generated message with ground-truth domain and concepts.
+	Msg corpus.Message
+}
+
+// Config parameterizes workload generation. Zero fields select defaults.
+type Config struct {
+	// Users is the number of distinct users (default 8).
+	Users int
+	// Messages is the total number of requests (default 1000).
+	Messages int
+	// MeanRunLength is the expected number of consecutive same-domain
+	// messages per user (geometric runs, default 12).
+	MeanRunLength float64
+	// DomainZipfS is the Zipf exponent of domain popularity (default 1.0).
+	DomainZipfS float64
+	// IdiolectStrength is the per-user idiolect strength in [0,1]
+	// (default 0: generic speakers).
+	IdiolectStrength float64
+	// MinLen and MaxLen override message length bounds when > 0. Short
+	// messages are ambiguous: domain-selection experiments use them to
+	// create regimes where per-message classification fails and context
+	// helps.
+	MinLen, MaxLen int
+	// FuncProb overrides the function-word probability when > 0. Higher
+	// values dilute domain evidence per message.
+	FuncProb float64
+	// Seed drives all randomness (default 1).
+	Seed uint64
+}
+
+// withDefaults returns cfg with zero fields replaced.
+func (cfg Config) withDefaults() Config {
+	if cfg.Users == 0 {
+		cfg.Users = 8
+	}
+	if cfg.Messages == 0 {
+		cfg.Messages = 1000
+	}
+	if cfg.MeanRunLength == 0 {
+		cfg.MeanRunLength = 12
+	}
+	if cfg.DomainZipfS == 0 {
+		cfg.DomainZipfS = 1.0
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return cfg
+}
+
+// Workload is a generated request stream.
+type Workload struct {
+	// Requests in emission order.
+	Requests []Request
+	// Users lists user names in creation order.
+	Users []string
+	// Idiolects maps user name to idiolect (nil entries mean generic
+	// speakers).
+	Idiolects map[string]*corpus.Idiolect
+}
+
+// DomainCounts returns how many requests carry each true domain.
+func (w *Workload) DomainCounts(numDomains int) []int {
+	counts := make([]int, numDomains)
+	for _, r := range w.Requests {
+		counts[r.Msg.DomainIndex]++
+	}
+	return counts
+}
+
+// Generate builds a workload over corp under cfg. It is deterministic
+// given cfg.Seed.
+func Generate(corp *corpus.Corpus, cfg Config) *Workload {
+	cfg = cfg.withDefaults()
+	rng := mat.NewRNG(cfg.Seed)
+	gen := corpus.NewGenerator(corp, rng.Split())
+	if cfg.MinLen > 0 {
+		gen.MinLen = cfg.MinLen
+	}
+	if cfg.MaxLen >= gen.MinLen && cfg.MaxLen > 0 {
+		gen.MaxLen = cfg.MaxLen
+	} else if cfg.MinLen > gen.MaxLen {
+		gen.MaxLen = cfg.MinLen
+	}
+	if cfg.FuncProb > 0 {
+		gen.FuncProb = cfg.FuncProb
+	}
+	domainZipf := mat.NewZipf(rng.Split(), len(corp.Domains), cfg.DomainZipfS)
+	idioRNG := rng.Split()
+
+	w := &Workload{
+		Requests:  make([]Request, 0, cfg.Messages),
+		Users:     make([]string, 0, cfg.Users),
+		Idiolects: make(map[string]*corpus.Idiolect, cfg.Users),
+	}
+	// Per-user topic state.
+	current := make([]int, cfg.Users)
+	for u := 0; u < cfg.Users; u++ {
+		name := fmt.Sprintf("u%02d", u+1)
+		w.Users = append(w.Users, name)
+		if cfg.IdiolectStrength > 0 {
+			w.Idiolects[name] = corpus.NewIdiolect(corp, idioRNG.Split(), cfg.IdiolectStrength)
+		} else {
+			w.Idiolects[name] = nil
+		}
+		current[u] = domainZipf.Sample()
+	}
+	switchProb := 1 / cfg.MeanRunLength
+	for i := 0; i < cfg.Messages; i++ {
+		u := rng.Intn(cfg.Users)
+		if rng.Float64() < switchProb {
+			current[u] = domainZipf.Sample()
+		}
+		name := w.Users[u]
+		msg := gen.Message(current[u], w.Idiolects[name])
+		w.Requests = append(w.Requests, Request{Seq: i, User: name, Msg: msg})
+	}
+	return w
+}

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+func TestGenerateDefaults(t *testing.T) {
+	corp := corpus.Build()
+	w := Generate(corp, Config{})
+	if len(w.Requests) != 1000 {
+		t.Fatalf("requests = %d, want default 1000", len(w.Requests))
+	}
+	if len(w.Users) != 8 {
+		t.Fatalf("users = %d, want default 8", len(w.Users))
+	}
+	for i, r := range w.Requests {
+		if r.Seq != i {
+			t.Fatal("Seq not sequential")
+		}
+		if r.User == "" || len(r.Msg.Words) == 0 {
+			t.Fatal("malformed request")
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	corp := corpus.Build()
+	cfg := Config{Users: 4, Messages: 200, Seed: 42}
+	a := Generate(corp, cfg)
+	b := Generate(corp, cfg)
+	for i := range a.Requests {
+		if a.Requests[i].User != b.Requests[i].User ||
+			a.Requests[i].Msg.Text() != b.Requests[i].Msg.Text() {
+			t.Fatal("workload not deterministic")
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	corp := corpus.Build()
+	a := Generate(corp, Config{Messages: 100, Seed: 1})
+	b := Generate(corp, Config{Messages: 100, Seed: 2})
+	same := 0
+	for i := range a.Requests {
+		if a.Requests[i].Msg.Text() == b.Requests[i].Msg.Text() {
+			same++
+		}
+	}
+	if same > 20 {
+		t.Fatalf("different seeds produced %d/100 identical messages", same)
+	}
+}
+
+func TestZipfDomainPopularity(t *testing.T) {
+	corp := corpus.Build()
+	w := Generate(corp, Config{Messages: 5000, DomainZipfS: 1.2, Seed: 3})
+	counts := w.DomainCounts(len(corp.Domains))
+	max, min := counts[0], counts[0]
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	if max < 3*min {
+		t.Fatalf("domain popularity not skewed: %v", counts)
+	}
+}
+
+func TestTopicRuns(t *testing.T) {
+	corp := corpus.Build()
+	w := Generate(corp, Config{Users: 1, Messages: 2000, MeanRunLength: 15, Seed: 9})
+	// Count run lengths for the single user.
+	runs := 0
+	for i := 1; i < len(w.Requests); i++ {
+		if w.Requests[i].Msg.DomainIndex != w.Requests[i-1].Msg.DomainIndex {
+			runs++
+		}
+	}
+	meanRun := float64(len(w.Requests)) / float64(runs+1)
+	// Domain switches occur with prob 1/15 but may resample the same
+	// domain, so observed runs are somewhat longer than 15.
+	if meanRun < 8 {
+		t.Fatalf("mean run length %v too short for MeanRunLength 15", meanRun)
+	}
+}
+
+func TestIdiolectsAssigned(t *testing.T) {
+	corp := corpus.Build()
+	w := Generate(corp, Config{Users: 5, Messages: 10, IdiolectStrength: 0.4, Seed: 4})
+	withPrefs := 0
+	for _, u := range w.Users {
+		if w.Idiolects[u] != nil && w.Idiolects[u].NumPrefs() > 0 {
+			withPrefs++
+		}
+	}
+	if withPrefs != 5 {
+		t.Fatalf("%d/5 users have idiolects", withPrefs)
+	}
+	// Different users must have different idiolects.
+	a, b := w.Idiolects[w.Users[0]], w.Idiolects[w.Users[1]]
+	if a.NumPrefs() == 0 || b.NumPrefs() == 0 {
+		t.Fatal("empty idiolects")
+	}
+}
+
+func TestNoIdiolectByDefault(t *testing.T) {
+	corp := corpus.Build()
+	w := Generate(corp, Config{Users: 2, Messages: 10, Seed: 4})
+	for _, u := range w.Users {
+		if w.Idiolects[u] != nil {
+			t.Fatal("default workload should have generic speakers")
+		}
+	}
+}
