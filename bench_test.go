@@ -6,6 +6,9 @@
 package repro
 
 import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/baseline"
@@ -352,6 +355,167 @@ func BenchmarkSelectorSticky(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s.Select(msg.Words)
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Serial-versus-parallel benchmarks for the mat compute layer. Each kernel
+// runs the same shape at 1 worker and at GOMAXPROCS workers; on a 4+ core
+// machine the large shapes should show >= 2x. Results are bit-identical
+// across worker counts by construction.
+
+// kernelBenchShapes are the matrix shapes used by the kernel benchmarks:
+// one below the parallel cutoff (stays serial either way, measures
+// dispatch overhead) and two above it.
+var kernelBenchShapes = []struct{ rows, cols int }{
+	{128, 128},
+	{1024, 1024},
+	{4096, 1024},
+}
+
+// benchSerialParallel runs fn at 1 worker and at GOMAXPROCS workers.
+func benchSerialParallel(b *testing.B, bytesPerOp int64, fn func(b *testing.B)) {
+	prev := mat.Parallelism()
+	defer mat.SetParallelism(prev)
+	b.Run("serial", func(b *testing.B) {
+		mat.SetParallelism(1)
+		b.SetBytes(bytesPerOp)
+		fn(b)
+	})
+	b.Run("parallel", func(b *testing.B) {
+		mat.SetParallelism(runtime.GOMAXPROCS(0))
+		b.SetBytes(bytesPerOp)
+		fn(b)
+	})
+}
+
+// BenchmarkMulVec measures dst = M*x, the encoder/decoder forward kernel.
+func BenchmarkMulVec(b *testing.B) {
+	for _, sh := range kernelBenchShapes {
+		m := mat.NewDense(sh.rows, sh.cols)
+		m.Randomize(mat.NewRNG(1), 1)
+		x := make([]float64, sh.cols)
+		for i := range x {
+			x[i] = float64(i%7) - 3
+		}
+		dst := make([]float64, sh.rows)
+		b.Run(fmt.Sprintf("%dx%d", sh.rows, sh.cols), func(b *testing.B) {
+			benchSerialParallel(b, int64(8*sh.rows*sh.cols), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					m.MulVec(dst, x)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkMulVecT measures dst = Mᵀ*x, the backward input-gradient kernel.
+func BenchmarkMulVecT(b *testing.B) {
+	for _, sh := range kernelBenchShapes {
+		m := mat.NewDense(sh.rows, sh.cols)
+		m.Randomize(mat.NewRNG(2), 1)
+		x := make([]float64, sh.rows)
+		for i := range x {
+			x[i] = float64(i%5) - 2
+		}
+		dst := make([]float64, sh.cols)
+		b.Run(fmt.Sprintf("%dx%d", sh.rows, sh.cols), func(b *testing.B) {
+			benchSerialParallel(b, int64(8*sh.rows*sh.cols), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					m.MulVecT(dst, x)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkAddOuter measures M += a*x*yᵀ, the weight-gradient kernel.
+func BenchmarkAddOuter(b *testing.B) {
+	for _, sh := range kernelBenchShapes {
+		m := mat.NewDense(sh.rows, sh.cols)
+		x := make([]float64, sh.rows)
+		y := make([]float64, sh.cols)
+		for i := range x {
+			x[i] = float64(i%9) - 4
+		}
+		for i := range y {
+			y[i] = float64(i%11) - 5
+		}
+		b.Run(fmt.Sprintf("%dx%d", sh.rows, sh.cols), func(b *testing.B) {
+			benchSerialParallel(b, int64(8*sh.rows*sh.cols), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					m.AddOuter(1e-9, x, y)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkBatchEncode measures batch semantic encoding of many messages
+// through one codec, serial versus sharded across the worker pool.
+func BenchmarkBatchEncode(b *testing.B) {
+	env := experiments.Environment()
+	codec := env.General("it")
+	gen := corpus.NewGenerator(env.Corpus, mat.NewRNG(1))
+	msgs := make([][]string, 0, 256)
+	for _, m := range gen.Batch(env.Corpus.Domain("it").Index, 256, nil) {
+		msgs = append(msgs, m.Words)
+	}
+	benchSerialParallel(b, 0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			codec.DecodeBatch(codec.EncodeBatch(msgs))
+		}
+	})
+}
+
+// BenchmarkTransmitThroughput measures end-to-end System.Transmit message
+// throughput: one sequential system versus one independent system per
+// processor fed concurrently (the paper's many-users edge-load scenario).
+func BenchmarkTransmitThroughput(b *testing.B) {
+	env := experiments.Environment()
+	newSystem := func() *core.System {
+		sys, err := core.NewSystem(core.Config{
+			Selector:          core.SelectorSticky,
+			PinGeneral:        true,
+			DisableAutoUpdate: true,
+			Pretrained:        env.Generals,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sys
+	}
+	b.Run("serial", func(b *testing.B) {
+		sys := newSystem()
+		w := trace.Generate(sys.Corpus, trace.Config{Users: 2, Messages: 256, Seed: 3})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Transmit(w.Requests[i%len(w.Requests)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		workers := runtime.GOMAXPROCS(0)
+		systems := make([]*core.System, workers)
+		for i := range systems {
+			systems[i] = newSystem()
+		}
+		w := trace.Generate(systems[0].Corpus, trace.Config{Users: 2, Messages: 256, Seed: 3})
+		var next atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			sys := systems[int(next.Add(1)-1)%workers]
+			i := 0
+			for pb.Next() {
+				if _, err := sys.Transmit(w.Requests[i%len(w.Requests)]); err != nil {
+					// b.Fatal must not run on a RunParallel worker goroutine.
+					b.Error(err)
+					return
+				}
+				i++
+			}
+		})
+	})
 }
 
 // BenchmarkCodecFineTune measures one update-process fine-tune (the

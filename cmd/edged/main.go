@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/mat"
 	"repro/internal/rpc"
 	"repro/internal/semantic"
 	"repro/internal/text"
@@ -67,8 +68,12 @@ func run() error {
 		snr      = flag.Float64("snr", 12, "channel SNR in dB")
 		seed     = flag.Uint64("seed", 1, "deterministic seed")
 		kbDir    = flag.String("kb", "", "directory of pretrained .kbm models (see cmd/semkb); empty pretrains at startup")
+		workers  = flag.Int("workers", 0, "parallel workers for pretraining and codec kernels (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	if *workers > 0 {
+		mat.SetParallelism(*workers)
+	}
 
 	cfg := core.Config{
 		Selector:   *selector,

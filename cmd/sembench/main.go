@@ -16,14 +16,19 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/mat"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id: e1..e8, ablate, or all")
-		quick = flag.Bool("quick", false, "reduced sizes for a fast run")
+		exp     = flag.String("exp", "all", "experiment id: e1..e8, ablate, or all")
+		quick   = flag.Bool("quick", false, "reduced sizes for a fast run")
+		workers = flag.Int("workers", 0, "parallel workers for pretraining and trial fan-out (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	if *workers > 0 {
+		mat.SetParallelism(*workers)
+	}
 	if err := run(*exp, *quick); err != nil {
 		log.SetFlags(0)
 		log.Fatalf("sembench: %v", err)

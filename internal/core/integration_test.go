@@ -45,6 +45,9 @@ func fidelity(t *testing.T, s *System, seed uint64, n int) float64 {
 }
 
 func TestRayleighDegradesVsAWGN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-system channel-behavior test in -short")
+	}
 	awgn := buildSystem(t, func(c *Config) { c.SNRdB = 6 })
 	ray := buildSystem(t, func(c *Config) { c.SNRdB = 6; c.Rayleigh = true })
 	a := fidelity(t, awgn, 71, 80)
@@ -55,6 +58,9 @@ func TestRayleighDegradesVsAWGN(t *testing.T) {
 }
 
 func TestInterleavingHelpsBlockFading(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-system channel-behavior test in -short")
+	}
 	plain := buildSystem(t, func(c *Config) { c.SNRdB = 9; c.Rayleigh = true })
 	ilv := buildSystem(t, func(c *Config) {
 		c.SNRdB = 9
@@ -71,6 +77,9 @@ func TestInterleavingHelpsBlockFading(t *testing.T) {
 }
 
 func TestHigherOrderModulations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-system channel-behavior test in -short")
+	}
 	// At high SNR all modulations must work; at the same SNR the denser
 	// constellation loses more than BPSK.
 	for _, mod := range []string{"qpsk", "16qam"} {
@@ -137,6 +146,9 @@ func TestProcessUpdateWithoutData(t *testing.T) {
 }
 
 func TestInterleaveConfigValidated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-system channel-behavior test in -short")
+	}
 	// Depth 1 and 0 are no-ops, not errors.
 	for _, depth := range []int{0, 1, 8} {
 		depth := depth

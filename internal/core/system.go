@@ -207,18 +207,70 @@ type System struct {
 	syncLatency time.Duration
 }
 
+// selectorFactories maps each non-oracle selector name to a builder of
+// per-user selector constructors. Together with the SelectorOracle special
+// case it is the single source of truth for selector names: validSelector
+// and initSelectors both read it, so a new policy registers in one place.
+var selectorFactories = map[string]func(s *System, rng *mat.RNG) func() selection.Selector{
+	SelectorStatic: func(s *System, _ *mat.RNG) func() selection.Selector {
+		return func() selection.Selector { return &selection.Static{DomainIndex: s.cfg.StaticDomain} }
+	},
+	SelectorNaiveBayes: func(s *System, _ *mat.RNG) func() selection.Selector {
+		return func() selection.Selector { return s.nb }
+	},
+	SelectorSticky: func(s *System, _ *mat.RNG) func() selection.Selector {
+		return func() selection.Selector { return selection.NewSticky(s.nb, 0) }
+	},
+	SelectorQLearn: func(s *System, rng *mat.RNG) func() selection.Selector {
+		return func() selection.Selector {
+			return selection.NewQLearn(s.nb, len(s.Corpus.Domains), rng.Split())
+		}
+	},
+	SelectorUCB: func(s *System, _ *mat.RNG) func() selection.Selector {
+		return func() selection.Selector { return selection.NewUCB(s.nb, len(s.Corpus.Domains)) }
+	},
+}
+
+// validSelector reports whether name is a known selection policy.
+func validSelector(name string) bool {
+	if name == SelectorOracle {
+		return true
+	}
+	_, ok := selectorFactories[name]
+	return ok
+}
+
 // NewSystem pretrains the general models, registers them in the cloud,
 // boots both edge servers and the selection policy, and returns the ready
-// system.
+// system. Every name-keyed configuration choice is validated before the
+// expensive pretraining so misconfiguration fails fast.
 func NewSystem(cfg Config) (*System, error) {
 	cfg = cfg.withDefaults()
+	if _, ok := newPolicy(cfg.Policy); !ok {
+		return nil, fmt.Errorf("core: unknown cache policy %q", cfg.Policy)
+	}
+	code, err := newCode(cfg.CodeName)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := newModulation(cfg.ModName)
+	if err != nil {
+		return nil, err
+	}
+	if !validSelector(cfg.Selector) {
+		return nil, fmt.Errorf("core: unknown selector %q", cfg.Selector)
+	}
 	corp := corpus.Build()
 	var generals []*semantic.Codec
 	if len(cfg.Pretrained) == len(corp.Domains) {
+		// Clones are independent deep copies of read-only sources, so they
+		// shard across the mat worker pool.
 		generals = make([]*semantic.Codec, len(cfg.Pretrained))
-		for i, c := range cfg.Pretrained {
-			generals[i] = c.Clone()
-		}
+		mat.ParallelFor(len(cfg.Pretrained), 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				generals[i] = cfg.Pretrained[i].Clone()
+			}
+		})
 	} else {
 		codecCfg := cfg.Codec
 		if codecCfg.Seed == 0 {
@@ -267,16 +319,8 @@ func NewSystem(cfg Config) (*System, error) {
 		return nil, err
 	}
 
-	code, err := newCode(cfg.CodeName)
-	if err != nil {
-		return nil, err
-	}
 	if cfg.InterleaveDepth > 1 {
 		code = channel.InterleavedCode{Inner: code, IV: channel.Interleaver{Depth: cfg.InterleaveDepth}}
-	}
-	mod, err := newModulation(cfg.ModName)
-	if err != nil {
-		return nil, err
 	}
 	rng := mat.NewRNG(cfg.Seed ^ 0x5eed)
 	var ch channel.Channel
@@ -323,24 +367,12 @@ func (s *System) initSelectors(rng *mat.RNG) error {
 		s.oracle = true
 		return nil
 	}
-	s.nb = selection.TrainNaiveBayes(s.Corpus, 150, cfg.Seed^0xbead)
-	n := len(s.Corpus.Domains)
-	var factory func() selection.Selector
-	switch cfg.Selector {
-	case SelectorStatic:
-		factory = func() selection.Selector { return &selection.Static{DomainIndex: cfg.StaticDomain} }
-	case SelectorNaiveBayes:
-		factory = func() selection.Selector { return s.nb }
-	case SelectorSticky:
-		factory = func() selection.Selector { return selection.NewSticky(s.nb, 0) }
-	case SelectorQLearn:
-		factory = func() selection.Selector { return selection.NewQLearn(s.nb, n, rng.Split()) }
-	case SelectorUCB:
-		factory = func() selection.Selector { return selection.NewUCB(s.nb, n) }
-	default:
+	build, ok := selectorFactories[cfg.Selector]
+	if !ok {
 		return fmt.Errorf("core: unknown selector %q", cfg.Selector)
 	}
-	s.selectors = selection.NewPerUser(factory)
+	s.nb = selection.TrainNaiveBayes(s.Corpus, 150, cfg.Seed^0xbead)
+	s.selectors = selection.NewPerUser(build(s, rng))
 	return nil
 }
 

@@ -205,7 +205,11 @@ func TestSelectorLearnsFromMismatchReward(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := trace.Generate(s.Corpus, trace.Config{Users: 1, Messages: 800, Seed: 29})
+	messages := 800
+	if testing.Short() {
+		messages = 400 // enough reward rounds for the late-accuracy bound
+	}
+	w := trace.Generate(s.Corpus, trace.Config{Users: 1, Messages: messages, Seed: 29})
 	results, err := s.RunWorkload(w)
 	if err != nil {
 		t.Fatal(err)
@@ -261,6 +265,9 @@ func TestWrongSelectionScoresLow(t *testing.T) {
 }
 
 func TestCompressedUpdatesSmaller(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping two-system compression comparison in -short")
+	}
 	run := func(compress nn.CompressOptions) int64 {
 		cfg := testConfig()
 		cfg.Selector = SelectorOracle

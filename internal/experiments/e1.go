@@ -85,14 +85,21 @@ func RunE1(env *Env, opts E1Options) (*E1Result, error) {
 		})
 	}
 
-	res := &E1Result{Rayleigh: opts.Rayleigh, Points: make([]E1Point, 0, len(opts.SNRs))}
-	for _, snr := range opts.SNRs {
-		noiseRNG := rng.Split()
+	// RNG splits happen serially up front so the per-SNR noise streams are
+	// independent of scheduling; the sweep points then run concurrently
+	// (codecs, messages and the Huffman coder are all read-only here).
+	noiseRNGs := make([]*mat.RNG, len(opts.SNRs))
+	for i := range noiseRNGs {
+		noiseRNGs[i] = rng.Split()
+	}
+	res := &E1Result{Rayleigh: opts.Rayleigh, Points: make([]E1Point, len(opts.SNRs))}
+	err := forEachTrial(len(opts.SNRs), func(pi int) error {
+		snr := opts.SNRs[pi]
 		var ch channel.Channel
 		if opts.Rayleigh {
-			ch = &channel.Rayleigh{SNRdB: snr, Rng: noiseRNG}
+			ch = &channel.Rayleigh{SNRdB: snr, Rng: noiseRNGs[pi]}
 		} else {
-			ch = &channel.AWGN{SNRdB: snr, Rng: noiseRNG}
+			ch = &channel.AWGN{SNRdB: snr, Rng: noiseRNGs[pi]}
 		}
 		link := channel.DefaultFeatureLink(ch)
 		pipe := baseline.Pipeline{
@@ -132,7 +139,11 @@ func RunE1(env *Env, opts E1Options) (*E1Result, error) {
 		pt.TradConceptAcc /= n
 		pt.TradExactRate /= n
 		pt.TradPayloadByte /= n
-		res.Points = append(res.Points, pt)
+		res.Points[pi] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -80,39 +80,46 @@ func RunE2(env *Env, opts E2Options) (*E2Result, error) {
 		MeanRunLength: 8, Seed: opts.Seed,
 	})
 
-	res := &E2Result{Cells: make([]E2Cell, 0, len(opts.Policies)*len(opts.Capacities))}
-	for _, policyName := range opts.Policies {
-		for _, capModels := range opts.Capacities {
-			policy, ok := cache.NewPolicy(policyName)
-			if !ok {
-				return nil, fmt.Errorf("experiments: unknown policy %q", policyName)
-			}
-			srv, err := edge.New(edge.Config{
-				Name:          "edge-e2",
-				CacheCapacity: modelBytes * int64(capModels),
-				Policy:        policy,
-				Uplink:        netsim.Link{Latency: 40 * time.Millisecond, BandwidthBps: 200e6},
-			}, cloud)
-			if err != nil {
-				return nil, err
-			}
-			var totalFetch time.Duration
-			for _, req := range w.Requests {
-				acq, err := srv.AcquireCodec(req.Msg.DomainName, "")
-				if err != nil {
-					return nil, err
-				}
-				totalFetch += acq.FetchLatency
-			}
-			st := srv.CacheStats()
-			res.Cells = append(res.Cells, E2Cell{
-				Policy:      policyName,
-				Capacity:    capModels,
-				HitRate:     st.HitRate(),
-				MeanFetchMs: float64(totalFetch.Milliseconds()) / float64(len(w.Requests)),
-				Evictions:   st.Evictions,
-			})
+	// Every (policy, capacity) cell replays the same read-only workload
+	// against its own cache, so cells shard across the worker pool; the
+	// grid stays in insertion order because cells write by index.
+	res := &E2Result{Cells: make([]E2Cell, len(opts.Policies)*len(opts.Capacities))}
+	err := forEachTrial(len(res.Cells), func(ci int) error {
+		policyName := opts.Policies[ci/len(opts.Capacities)]
+		capModels := opts.Capacities[ci%len(opts.Capacities)]
+		policy, ok := cache.NewPolicy(policyName)
+		if !ok {
+			return fmt.Errorf("experiments: unknown policy %q", policyName)
 		}
+		srv, err := edge.New(edge.Config{
+			Name:          "edge-e2",
+			CacheCapacity: modelBytes * int64(capModels),
+			Policy:        policy,
+			Uplink:        netsim.Link{Latency: 40 * time.Millisecond, BandwidthBps: 200e6},
+		}, cloud)
+		if err != nil {
+			return err
+		}
+		var totalFetch time.Duration
+		for _, req := range w.Requests {
+			acq, err := srv.AcquireCodec(req.Msg.DomainName, "")
+			if err != nil {
+				return err
+			}
+			totalFetch += acq.FetchLatency
+		}
+		st := srv.CacheStats()
+		res.Cells[ci] = E2Cell{
+			Policy:      policyName,
+			Capacity:    capModels,
+			HitRate:     st.HitRate(),
+			MeanFetchMs: float64(totalFetch.Milliseconds()) / float64(len(w.Requests)),
+			Evictions:   st.Evictions,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -63,8 +63,12 @@ type E5Result struct {
 // approaches should win.
 func RunE5(env *Env, opts E5Options) (*E5Result, error) {
 	opts = opts.withDefaults()
-	res := &E5Result{Rows: make([]E5Row, 0, len(opts.Selectors))}
-	for _, sel := range opts.Selectors {
+	// Each selector gets its own full System (cloned from the shared
+	// pretrained codecs) and a deterministic workload, so the comparison
+	// rows shard across the worker pool and land by index.
+	res := &E5Result{Rows: make([]E5Row, len(opts.Selectors))}
+	err := forEachTrial(len(opts.Selectors), func(si int) error {
+		sel := opts.Selectors[si]
 		sys, err := core.NewSystem(core.Config{
 			Selector:          sel,
 			PinGeneral:        true,
@@ -73,7 +77,7 @@ func RunE5(env *Env, opts E5Options) (*E5Result, error) {
 			Pretrained:        env.Generals,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		w := trace.Generate(sys.Corpus, trace.Config{
 			Users: opts.Users, Messages: opts.Messages,
@@ -83,19 +87,23 @@ func RunE5(env *Env, opts E5Options) (*E5Result, error) {
 		})
 		results, err := sys.RunWorkload(w)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sum, err := core.Summarize(results)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, E5Row{
+		res.Rows[si] = E5Row{
 			Selector:          sel,
 			SelectionAccuracy: sum.SelectionAccuracy,
 			WordAccuracy:      sum.MeanWordAccuracy,
 			Similarity:        sum.MeanSimilarity,
 			Mismatch:          sum.MeanMismatch,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

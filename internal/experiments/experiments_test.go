@@ -270,6 +270,9 @@ func TestE8Shapes(t *testing.T) {
 }
 
 func TestAblationShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping ablation sweeps in -short")
+	}
 	env := Environment()
 	res, err := RunAblations(env, AblationOptions{Messages: 60})
 	if err != nil {

@@ -60,6 +60,9 @@ func TestE10Shapes(t *testing.T) {
 }
 
 func TestErasureAblationShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping erasure ablation sweep in -short")
+	}
 	env := Environment()
 	res, err := RunAblations(env, AblationOptions{Messages: 50})
 	if err != nil {

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mat"
+)
+
+// forEachTrial runs fn(0) … fn(n-1), sharding independent trials across up
+// to mat.Parallelism() goroutines. On failure it returns the error of the
+// lowest-numbered failing trial — the same error serial execution would
+// return — so error reporting, like results, never depends on scheduling.
+// Callers must make fn write results by index so output ordering is
+// scheduling-independent too; every runner that uses this splits per-trial
+// RNGs serially up front, preserving bit-identical results at any
+// parallelism.
+func forEachTrial(n int, fn func(i int) error) error {
+	workers := mat.Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -67,56 +67,43 @@ func (m *Dense) GlorotInit(rng *RNG, fanIn, fanOut int) {
 }
 
 // MulVec computes dst = m * x where x has length Cols and dst has length
-// Rows. dst must not alias x. It panics on length mismatches.
+// Rows. dst must not alias x. It panics on length mismatches. Large
+// matrices shard rows across the package worker pool; results are
+// bit-identical to serial execution at any parallelism.
 func (m *Dense) MulVec(dst, x []float64) {
 	if len(x) != m.Cols || len(dst) != m.Rows {
 		panic("mat: MulVec length mismatch")
 	}
-	for i := 0; i < m.Rows; i++ {
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		s := 0.0
-		for j, w := range row {
-			s += w * x[j]
-		}
-		dst[i] = s
-	}
+	ParallelFor(m.Rows, kernelGrain(m.Cols), func(lo, hi int) {
+		m.mulVecRange(dst, x, lo, hi)
+	})
 }
 
 // MulVecT computes dst = mᵀ * x where x has length Rows and dst has length
-// Cols. dst must not alias x. It panics on length mismatches.
+// Cols. dst must not alias x. It panics on length mismatches. Large
+// matrices shard output columns across the package worker pool; each
+// column accumulates rows in serial order, so results are bit-identical to
+// serial execution at any parallelism.
 func (m *Dense) MulVecT(dst, x []float64) {
 	if len(x) != m.Rows || len(dst) != m.Cols {
 		panic("mat: MulVecT length mismatch")
 	}
-	Zero(dst)
-	for i := 0; i < m.Rows; i++ {
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		xi := x[i]
-		if xi == 0 {
-			continue
-		}
-		for j, w := range row {
-			dst[j] += w * xi
-		}
-	}
+	ParallelFor(m.Cols, kernelGrain(m.Rows), func(lo, hi int) {
+		m.mulVecTRange(dst, x, lo, hi)
+	})
 }
 
 // AddOuter accumulates m += a * x * yᵀ, where x has length Rows and y has
-// length Cols. It panics on length mismatches.
+// length Cols. It panics on length mismatches. Large matrices shard rows
+// across the package worker pool; results are bit-identical to serial
+// execution at any parallelism.
 func (m *Dense) AddOuter(a float64, x, y []float64) {
 	if len(x) != m.Rows || len(y) != m.Cols {
 		panic("mat: AddOuter length mismatch")
 	}
-	for i := 0; i < m.Rows; i++ {
-		axi := a * x[i]
-		if axi == 0 {
-			continue
-		}
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		for j, yj := range y {
-			row[j] += axi * yj
-		}
-	}
+	ParallelFor(m.Rows, kernelGrain(m.Cols), func(lo, hi int) {
+		m.addOuterRange(a, x, y, lo, hi)
+	})
 }
 
 // AddScaled accumulates m += a * other. It panics if shapes differ.
@@ -167,7 +154,10 @@ func ReadDense(r io.Reader) (*Dense, error) {
 	}
 	rows := int(binary.LittleEndian.Uint32(hdr[4:]))
 	cols := int(binary.LittleEndian.Uint32(hdr[8:]))
-	if rows <= 0 || cols <= 0 || rows*cols > 1<<28 {
+	// The element-count bound is checked in uint64: on 32-bit platforms
+	// rows*cols computed in int can overflow and wrap to a small positive
+	// value, bypassing the limit before allocation.
+	if rows <= 0 || cols <= 0 || uint64(rows)*uint64(cols) > 1<<28 {
 		return nil, errBadMatrix
 	}
 	m := NewDense(rows, cols)

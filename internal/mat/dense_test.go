@@ -2,6 +2,7 @@ package mat
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"testing"
 	"testing/quick"
@@ -133,6 +134,37 @@ func TestReadDenseRejectsGarbage(t *testing.T) {
 	}
 	if _, err := ReadDense(bytes.NewReader(nil)); err == nil {
 		t.Fatal("ReadDense accepted empty input")
+	}
+}
+
+// denseHeader builds a serialized-matrix header with the given dimensions.
+func denseHeader(rows, cols uint32) []byte {
+	hdr := make([]byte, 12)
+	binary.LittleEndian.PutUint32(hdr[0:], denseMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], rows)
+	binary.LittleEndian.PutUint32(hdr[8:], cols)
+	return hdr
+}
+
+// Regression: headers whose rows*cols product overflows int on 32-bit
+// platforms (e.g. 65536*65536 wraps to 0) must be rejected before any
+// allocation, not accepted via the wrapped product.
+func TestReadDenseRejectsElementCountOverflow(t *testing.T) {
+	cases := []struct{ rows, cols uint32 }{
+		{1 << 16, 1 << 16}, // product 2^32: wraps to 0 in 32-bit int
+		{1 << 17, 1 << 16}, // product 2^33: wraps to 0 in 32-bit int
+		{1 << 31, 3},       // rows itself is negative as a 32-bit int
+		{1 << 15, 1 << 14}, // product 2^29: over the 2^28 element limit
+	}
+	for _, c := range cases {
+		if _, err := ReadDense(bytes.NewReader(denseHeader(c.rows, c.cols))); err == nil {
+			t.Fatalf("ReadDense accepted %dx%d header", c.rows, c.cols)
+		}
+	}
+	// A legitimate header still reads (the data section is just short).
+	_, err := ReadDense(bytes.NewReader(denseHeader(2, 2)))
+	if err == nil {
+		t.Fatal("ReadDense with truncated data should error")
 	}
 }
 

@@ -1,0 +1,208 @@
+package mat
+
+import (
+	"math"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// withParallelism runs fn at worker count n, restoring the prior setting.
+func withParallelism(t *testing.T, n int, fn func()) {
+	t.Helper()
+	prev := Parallelism()
+	SetParallelism(n)
+	defer SetParallelism(prev)
+	fn()
+}
+
+// serialMulVec is the reference dst = m * x loop.
+func serialMulVec(m *Dense, dst, x []float64) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		s := 0.0
+		for j, w := range row {
+			s += w * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// serialMulVecT is the reference dst = mᵀ * x loop, matching the seed's
+// accumulation order exactly.
+func serialMulVecT(m *Dense, dst, x []float64) {
+	Zero(dst)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for j, w := range row {
+			dst[j] += w * xi
+		}
+	}
+}
+
+// serialAddOuter is the reference m += a * x * yᵀ loop.
+func serialAddOuter(m *Dense, a float64, x, y []float64) {
+	for i := 0; i < m.Rows; i++ {
+		axi := a * x[i]
+		if axi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, yj := range y {
+			row[j] += axi * yj
+		}
+	}
+}
+
+// kernelShapes straddle the parallel cutoff: tiny shapes that stay serial,
+// shapes right around parallelCutoff elements, and large shapes that shard
+// across several workers, including skinny and wide aspect ratios.
+var kernelShapes = []struct{ rows, cols int }{
+	{1, 1},
+	{3, 7},
+	{17, 33},
+	{64, 64},
+	{127, 258}, // just under the cutoff
+	{128, 256}, // exactly the cutoff
+	{129, 256}, // just over the cutoff
+	{1000, 37}, // tall and skinny
+	{37, 1000}, // short and wide
+	{300, 301}, // well above the cutoff
+	{1, 40000}, // single row wider than the cutoff
+	{40000, 1}, // single column taller than the cutoff
+}
+
+// randomVec fills a deterministic pseudo-random vector with ~1/8 exact
+// zeros so the xi == 0 skip path is exercised.
+func randomVec(rng *RNG, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		if rng.Intn(8) == 0 {
+			continue
+		}
+		v[i] = 2*rng.Float64() - 1
+	}
+	return v
+}
+
+// bitsEqual reports element-wise bit identity, distinguishing -0 from 0.
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestParallelKernelsMatchSerial(t *testing.T) {
+	rng := NewRNG(42)
+	for _, sh := range kernelShapes {
+		m := NewDense(sh.rows, sh.cols)
+		m.Randomize(rng, 1)
+		xr := randomVec(rng, sh.rows) // length Rows: MulVecT input, AddOuter x
+		xc := randomVec(rng, sh.cols) // length Cols: MulVec input, AddOuter y
+
+		wantMV := make([]float64, sh.rows)
+		serialMulVec(m, wantMV, xc)
+		wantMVT := make([]float64, sh.cols)
+		serialMulVecT(m, wantMVT, xr)
+		wantAO := m.Clone()
+		serialAddOuter(wantAO, 0.75, xr, xc)
+
+		for _, workers := range []int{1, 2, 3, 8} {
+			withParallelism(t, workers, func() {
+				got := make([]float64, sh.rows)
+				m.MulVec(got, xc)
+				if !bitsEqual(got, wantMV) {
+					t.Errorf("MulVec %dx%d workers=%d differs from serial", sh.rows, sh.cols, workers)
+				}
+				gotT := make([]float64, sh.cols)
+				m.MulVecT(gotT, xr)
+				if !bitsEqual(gotT, wantMVT) {
+					t.Errorf("MulVecT %dx%d workers=%d differs from serial", sh.rows, sh.cols, workers)
+				}
+				ao := m.Clone()
+				ao.AddOuter(0.75, xr, xc)
+				if !bitsEqual(ao.Data, wantAO.Data) {
+					t.Errorf("AddOuter %dx%d workers=%d differs from serial", sh.rows, sh.cols, workers)
+				}
+			})
+		}
+	}
+}
+
+func TestParallelForCoversRangeOnce(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		withParallelism(t, workers, func() {
+			for _, n := range []int{0, 1, 7, 64, 1000} {
+				for _, grain := range []int{1, 3, 64, 5000} {
+					visits := make([]int32, n)
+					ParallelFor(n, grain, func(lo, hi int) {
+						if lo < 0 || hi > n || lo >= hi {
+							t.Fatalf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+						}
+						for i := lo; i < hi; i++ {
+							atomic.AddInt32(&visits[i], 1)
+						}
+					})
+					for i, v := range visits {
+						if v != 1 {
+							t.Fatalf("n=%d grain=%d workers=%d: index %d visited %d times",
+								n, grain, workers, i, v)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestParallelForNestedNoDeadlock(t *testing.T) {
+	withParallelism(t, 4, func() {
+		var count atomic.Int64
+		ParallelFor(16, 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ParallelFor(16, 1, func(lo2, hi2 int) {
+					count.Add(int64(hi2 - lo2))
+				})
+			}
+		})
+		if got := count.Load(); got != 16*16 {
+			t.Fatalf("nested ParallelFor covered %d of %d indices", got, 16*16)
+		}
+	})
+}
+
+func TestSetParallelismClamps(t *testing.T) {
+	prev := Parallelism()
+	defer SetParallelism(prev)
+	for _, n := range []int{0, -5} {
+		SetParallelism(n)
+		if got := Parallelism(); got != 1 {
+			t.Fatalf("SetParallelism(%d) -> Parallelism() = %d, want 1", n, got)
+		}
+	}
+	SetParallelism(6)
+	if got := Parallelism(); got != 6 {
+		t.Fatalf("Parallelism() = %d, want 6", got)
+	}
+}
+
+func TestDefaultParallelismIsGOMAXPROCS(t *testing.T) {
+	// The init default must be at least 1 and no more than GOMAXPROCS;
+	// other tests may have changed it, so set it back explicitly.
+	prev := Parallelism()
+	defer SetParallelism(prev)
+	SetParallelism(runtime.GOMAXPROCS(0))
+	if got := Parallelism(); got < 1 {
+		t.Fatalf("Parallelism() = %d", got)
+	}
+}

@@ -29,22 +29,23 @@ var _ Optimizer = (*SGD)(nil)
 func (o *SGD) Step(params, grads *ParamSet) {
 	scale := clipScale(grads, o.Clip)
 	if o.Momentum == 0 {
-		for i, p := range params.Params {
-			mat.AXPY(p.M.Data, -o.LR*scale, grads.Params[i].M.Data)
-		}
+		forEachTensor(params, func(i int) {
+			mat.AXPY(params.Params[i].M.Data, -o.LR*scale, grads.Params[i].M.Data)
+		})
 		return
 	}
 	if o.velocity == nil {
 		o.velocity = params.ZeroClone()
 	}
-	for i, p := range params.Params {
+	forEachTensor(params, func(i int) {
+		p := params.Params[i].M.Data
 		v := o.velocity.Params[i].M.Data
 		g := grads.Params[i].M.Data
 		for j := range v {
 			v[j] = o.Momentum*v[j] - o.LR*scale*g[j]
-			p.M.Data[j] += v[j]
+			p[j] += v[j]
 		}
-	}
+	})
 }
 
 // Adam is the Adam optimizer with bias correction.
@@ -81,11 +82,11 @@ func (o *Adam) Step(params, grads *ParamSet) {
 	scale := clipScale(grads, o.Clip)
 	c1 := 1 - math.Pow(b1, float64(o.t))
 	c2 := 1 - math.Pow(b2, float64(o.t))
-	for i, p := range params.Params {
+	forEachTensor(params, func(i int) {
 		md := o.m.Params[i].M.Data
 		vd := o.v.Params[i].M.Data
 		gd := grads.Params[i].M.Data
-		pd := p.M.Data
+		pd := params.Params[i].M.Data
 		for j := range pd {
 			g := gd[j] * scale
 			md[j] = b1*md[j] + (1-b1)*g
@@ -94,11 +95,35 @@ func (o *Adam) Step(params, grads *ParamSet) {
 			vHat := vd[j] / c2
 			pd[j] -= o.LR * mHat / (math.Sqrt(vHat) + eps)
 		}
+	})
+}
+
+// parallelStepThreshold is the minimum total scalar count before an
+// optimizer step shards tensors across the mat worker pool; the paper's
+// small codecs stay on the serial path.
+const parallelStepThreshold = 1 << 15
+
+// forEachTensor applies fn to every tensor index, sharding across the mat
+// worker pool for large parameter sets. Tensors are disjoint, so the update
+// is bit-identical to the serial loop at any parallelism.
+func forEachTensor(ps *ParamSet, fn func(i int)) {
+	if ps.NumValues() < parallelStepThreshold {
+		for i := range ps.Params {
+			fn(i)
+		}
+		return
 	}
+	mat.ParallelFor(len(ps.Params), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
 }
 
 // clipScale returns the multiplier that rescales grads to global L2 norm at
-// most clip (1 when clip is 0 or the norm is within bounds).
+// most clip (1 when clip is 0 or the norm is within bounds). The reduction
+// stays serial deliberately: a sharded sum would change the floating-point
+// accumulation order and break bit-reproducibility across worker counts.
 func clipScale(grads *ParamSet, clip float64) float64 {
 	if clip <= 0 {
 		return 1

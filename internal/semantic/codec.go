@@ -180,17 +180,43 @@ func (c *Codec) EncodeSurfaceID(id int, dst []float64) {
 	nn.TanhForward(dst, dst)
 }
 
+// tokenGrain is the minimum number of tokens per worker when sharding a
+// single message across the compute pool: typical chat-length messages stay
+// serial, long firehose inputs shard.
+const tokenGrain = 256
+
 // EncodeWords encodes a token sequence into per-token feature vectors.
-// Words outside the domain lexicon encode as the unknown surface.
+// Words outside the domain lexicon encode as the unknown surface. Encoding
+// only reads the codec, so it is safe to call concurrently; long sequences
+// shard tokens across the mat worker pool.
 func (c *Codec) EncodeWords(words []string) [][]float64 {
 	feats := make([][]float64, len(words))
-	for i, w := range words {
-		f := make([]float64, c.cfg.FeatureDim)
-		c.EncodeSurfaceID(c.domain.SurfaceID(w), f)
-		feats[i] = f
-	}
+	mat.ParallelFor(len(words), tokenGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f := make([]float64, c.cfg.FeatureDim)
+			c.EncodeSurfaceID(c.domain.SurfaceID(words[i]), f)
+			feats[i] = f
+		}
+	})
 	return feats
 }
+
+// EncodeBatch encodes a batch of token sequences, sharding messages across
+// the mat worker pool. The result is ordered like msgs and bit-identical
+// to calling EncodeWords on each message serially.
+func (c *Codec) EncodeBatch(msgs [][]string) [][][]float64 {
+	out := make([][][]float64, len(msgs))
+	mat.ParallelFor(len(msgs), batchGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = c.EncodeWords(msgs[i])
+		}
+	})
+	return out
+}
+
+// batchGrain is the minimum number of messages per worker for the batch
+// encode/decode entry points.
+const batchGrain = 8
 
 // DecodeFeature returns the most likely concept index for one feature
 // vector.
@@ -203,12 +229,29 @@ func (c *Codec) DecodeFeature(feat []float64) int {
 	return mat.Argmax(logits)
 }
 
-// DecodeFeatures decodes a feature sequence into concept indices.
+// DecodeFeatures decodes a feature sequence into concept indices. Decoding
+// only reads the codec, so it is safe to call concurrently; long sequences
+// shard tokens across the mat worker pool.
 func (c *Codec) DecodeFeatures(feats [][]float64) []int {
 	out := make([]int, len(feats))
-	for i, f := range feats {
-		out[i] = c.DecodeFeature(f)
-	}
+	mat.ParallelFor(len(feats), tokenGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = c.DecodeFeature(feats[i])
+		}
+	})
+	return out
+}
+
+// DecodeBatch decodes a batch of feature sequences, sharding messages
+// across the mat worker pool. The result is ordered like feats and
+// bit-identical to calling DecodeFeatures on each sequence serially.
+func (c *Codec) DecodeBatch(feats [][][]float64) [][]int {
+	out := make([][]int, len(feats))
+	mat.ParallelFor(len(feats), batchGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = c.DecodeFeatures(feats[i])
+		}
+	})
 	return out
 }
 

@@ -160,12 +160,17 @@ func Pretrain(d *corpus.Domain, corp *corpus.Corpus, cfg Config) *Codec {
 	return c
 }
 
-// PretrainAll builds one general codec per domain, in domain order.
+// PretrainAll builds one general codec per domain, in domain order. The
+// domains train concurrently on the mat worker pool: each Pretrain derives
+// its RNG purely from cfg.Seed and the domain index, so the result is
+// bit-identical to the serial loop at any parallelism.
 func PretrainAll(corp *corpus.Corpus, cfg Config) []*Codec {
 	out := make([]*Codec, len(corp.Domains))
-	for i, d := range corp.Domains {
-		out[i] = Pretrain(d, corp, cfg)
-	}
+	mat.ParallelFor(len(corp.Domains), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = Pretrain(corp.Domains[i], corp, cfg)
+		}
+	})
 	return out
 }
 
