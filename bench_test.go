@@ -518,6 +518,77 @@ func BenchmarkTransmitThroughput(b *testing.B) {
 	})
 }
 
+// BenchmarkConcurrentTransmit measures ONE shared System under parallel
+// load from 8 distinct users against a single sequential client — the
+// serve-path scaling the edged daemon relies on. Unlike
+// BenchmarkTransmitThroughput/parallel (one independent system per
+// processor), this exercises the per-user sharded state of a single
+// deployment: on a multi-core runner 8users should sustain >= 2x the
+// 1user throughput.
+func BenchmarkConcurrentTransmit(b *testing.B) {
+	env := experiments.Environment()
+	const users = 8
+	newSystem := func() *core.System {
+		sys, err := core.NewSystem(core.Config{
+			Selector:          core.SelectorSticky,
+			PinGeneral:        true,
+			DisableAutoUpdate: true,
+			Pretrained:        env.Generals,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sys
+	}
+	// Pre-generate one deterministic message stream per user.
+	gen := corpus.NewGenerator(env.Corpus, mat.NewRNG(17))
+	streams := make([][][]string, users)
+	for u := range streams {
+		seq := make([][]string, 64)
+		for i := range seq {
+			seq[i] = gen.Message((u+i)%len(env.Corpus.Domains), nil).Words
+		}
+		streams[u] = seq
+	}
+	b.Run("1user", func(b *testing.B) {
+		sys := newSystem()
+		if _, err := sys.Sender.Prefetch(sys.Corpus.Names()); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.TransmitText("u0", streams[0][i%64]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("8users", func(b *testing.B) {
+		sys := newSystem()
+		if _, err := sys.Sender.Prefetch(sys.Corpus.Names()); err != nil {
+			b.Fatal(err)
+		}
+		// RunParallel spawns GOMAXPROCS*p goroutines; pick p so at least
+		// 8 run, one user each (cycling when there are more).
+		p := (users + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0)
+		b.SetParallelism(p)
+		var next atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			u := int(next.Add(1)-1) % users
+			user := fmt.Sprintf("u%d", u)
+			i := 0
+			for pb.Next() {
+				if _, err := sys.TransmitText(user, streams[u][i%64]); err != nil {
+					// b.Fatal must not run on a RunParallel worker goroutine.
+					b.Error(err)
+					return
+				}
+				i++
+			}
+		})
+	})
+}
+
 // BenchmarkCodecFineTune measures one update-process fine-tune (the
 // per-buffer cost of the paper's §II-D individual-model update).
 func BenchmarkCodecFineTune(b *testing.B) {

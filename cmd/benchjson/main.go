@@ -1,0 +1,180 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document so CI can archive the performance trajectory of every PR
+// (BENCH_pr.json) and two runs can be diffed mechanically.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x -run '^$' ./... | benchjson -o BENCH_pr.json
+//
+// Repeated runs of one benchmark (-count N) aggregate into mean/min/max.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Stat aggregates one measured unit over repeated benchmark runs.
+type Stat struct {
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// Bench is the aggregate of all runs of one benchmark name.
+type Bench struct {
+	Runs        int              `json:"runs"`
+	Iters       int64            `json:"iters"`
+	NsPerOp     *Stat            `json:"ns_per_op,omitempty"`
+	BPerOp      *Stat            `json:"b_per_op,omitempty"`
+	AllocsPerOp *Stat            `json:"allocs_per_op,omitempty"`
+	MBPerS      *Stat            `json:"mb_per_s,omitempty"`
+	Metrics     map[string]*Stat `json:"metrics,omitempty"`
+}
+
+// Report is the whole document.
+type Report struct {
+	GoOS       string            `json:"goos,omitempty"`
+	GoArch     string            `json:"goarch,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	Pkgs       []string          `json:"pkgs,omitempty"`
+	Benchmarks map[string]*Bench `json:"benchmarks"`
+}
+
+// samples buffers per-unit observations for one benchmark name.
+type samples struct {
+	iters int64
+	units map[string][]float64
+}
+
+// parseBench reads go-test benchmark output and aggregates it.
+func parseBench(r io.Reader) (*Report, error) {
+	rep := &Report{Benchmarks: make(map[string]*Bench)}
+	acc := make(map[string]*samples)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkgs = append(rep.Pkgs, strings.TrimSpace(strings.TrimPrefix(line, "pkg:")))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iteration count, then value/unit pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		s := acc[fields[0]]
+		if s == nil {
+			s = &samples{units: make(map[string][]float64)}
+			acc[fields[0]] = s
+		}
+		s.iters += iters
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad value %q in line %q", fields[i], line)
+			}
+			s.units[fields[i+1]] = append(s.units[fields[i+1]], v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for name, s := range acc {
+		b := &Bench{Iters: s.iters}
+		for unit, vals := range s.units {
+			st := newStat(vals)
+			if b.Runs < len(vals) {
+				b.Runs = len(vals)
+			}
+			switch unit {
+			case "ns/op":
+				b.NsPerOp = st
+			case "B/op":
+				b.BPerOp = st
+			case "allocs/op":
+				b.AllocsPerOp = st
+			case "MB/s":
+				b.MBPerS = st
+			default:
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]*Stat)
+				}
+				b.Metrics[unit] = st
+			}
+		}
+		rep.Benchmarks[name] = b
+	}
+	return rep, nil
+}
+
+// newStat reduces a sample list.
+func newStat(vals []float64) *Stat {
+	st := &Stat{Min: vals[0], Max: vals[0]}
+	for _, v := range vals {
+		st.Mean += v
+		if v < st.Min {
+			st.Min = v
+		}
+		if v > st.Max {
+			st.Max = v
+		}
+	}
+	st.Mean /= float64(len(vals))
+	return st
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("benchjson: %v", err)
+	}
+}
+
+func run() error {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	rep, err := parseBench(os.Stdin)
+	if err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	// Maps marshal with sorted keys, so the document is byte-stable for a
+	// given input and two artifacts diff cleanly.
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(doc)
+		return err
+	}
+	return os.WriteFile(*out, doc, 0o644)
+}

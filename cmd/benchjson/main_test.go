@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: AMD EPYC 7B13
+BenchmarkSystemTransmit-8   	    1207	    987654 ns/op
+BenchmarkConcurrentTransmit/1user-8     	       1	   1200000 ns/op	  5000 B/op	      50 allocs/op
+BenchmarkConcurrentTransmit/8users-8    	       1	    400000 ns/op	  5100 B/op	      51 allocs/op
+BenchmarkConcurrentTransmit/8users-8    	       1	    420000 ns/op	  5100 B/op	      49 allocs/op
+BenchmarkConcurrentTransmit/8users-8    	       1	    380000 ns/op	  5100 B/op	      50 allocs/op
+BenchmarkE1SemanticVsTraditional-8      	       1	 500000000 ns/op	         0.9500 sem_sim@-6dB	         5.100 payload_ratio
+PASS
+ok  	repro	12.3s
+`
+
+func TestParseBench(t *testing.T) {
+	rep, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoOS != "linux" || rep.GoArch != "amd64" || rep.CPU == "" {
+		t.Fatalf("header lost: %+v", rep)
+	}
+	if len(rep.Pkgs) != 1 || rep.Pkgs[0] != "repro" {
+		t.Fatalf("pkgs = %v", rep.Pkgs)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("got %d benchmarks, want 4", len(rep.Benchmarks))
+	}
+
+	single := rep.Benchmarks["BenchmarkSystemTransmit-8"]
+	if single == nil || single.Runs != 1 || single.Iters != 1207 {
+		t.Fatalf("single = %+v", single)
+	}
+	if single.NsPerOp.Mean != 987654 || single.BPerOp != nil {
+		t.Fatalf("single stats = %+v", single.NsPerOp)
+	}
+
+	multi := rep.Benchmarks["BenchmarkConcurrentTransmit/8users-8"]
+	if multi == nil || multi.Runs != 3 {
+		t.Fatalf("multi = %+v", multi)
+	}
+	if multi.NsPerOp.Min != 380000 || multi.NsPerOp.Max != 420000 || multi.NsPerOp.Mean != 400000 {
+		t.Fatalf("ns/op aggregate = %+v", multi.NsPerOp)
+	}
+	if multi.AllocsPerOp.Mean != 50 {
+		t.Fatalf("allocs aggregate = %+v", multi.AllocsPerOp)
+	}
+
+	custom := rep.Benchmarks["BenchmarkE1SemanticVsTraditional-8"]
+	if custom == nil || custom.Metrics["sem_sim@-6dB"].Mean != 0.95 {
+		t.Fatalf("custom metrics = %+v", custom)
+	}
+	if custom.Metrics["payload_ratio"].Mean != 5.1 {
+		t.Fatalf("payload_ratio = %+v", custom.Metrics["payload_ratio"])
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	rep, err := parseBench(strings.NewReader("PASS\nok repro 0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("benchmarks = %v", rep.Benchmarks)
+	}
+}
+
+func TestParseBenchBadValue(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("BenchmarkX-8 1 oops ns/op\n")); err == nil {
+		t.Fatal("bad value accepted")
+	}
+}

@@ -3,9 +3,13 @@
 // startup) and serves transmit/stats requests over a length-prefixed JSON
 // TCP protocol (see internal/rpc).
 //
+// Connections dispatch directly into the concurrent core.System: requests
+// from different users run in parallel, bounded by the -max-inflight gate;
+// requests from one user serialize inside the system.
+//
 // Usage:
 //
-//	edged [-addr :7060] [-selector sticky] [-snr 12] [-seed 1]
+//	edged [-addr :7060] [-selector sticky] [-snr 12] [-seed 1] [-max-inflight 16]
 package main
 
 import (
@@ -18,13 +22,16 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/mat"
+	"repro/internal/metrics"
 	"repro/internal/rpc"
 	"repro/internal/semantic"
 	"repro/internal/text"
@@ -63,12 +70,15 @@ func main() {
 
 func run() error {
 	var (
-		addr     = flag.String("addr", ":7060", "listen address")
-		selector = flag.String("selector", "sticky", "model-selection policy (static|naivebayes|sticky|qlearn|ucb)")
-		snr      = flag.Float64("snr", 12, "channel SNR in dB")
-		seed     = flag.Uint64("seed", 1, "deterministic seed")
-		kbDir    = flag.String("kb", "", "directory of pretrained .kbm models (see cmd/semkb); empty pretrains at startup")
-		workers  = flag.Int("workers", 0, "parallel workers for pretraining and codec kernels (0 = GOMAXPROCS)")
+		addr        = flag.String("addr", ":7060", "listen address")
+		selector    = flag.String("selector", "sticky", "model-selection policy (static|naivebayes|sticky|qlearn|ucb)")
+		snr         = flag.Float64("snr", 12, "channel SNR in dB")
+		seed        = flag.Uint64("seed", 1, "deterministic seed")
+		kbDir       = flag.String("kb", "", "directory of pretrained .kbm models (see cmd/semkb); empty pretrains at startup")
+		workers     = flag.Int("workers", 0, "parallel workers for pretraining and codec kernels (0 = GOMAXPROCS)")
+		maxInflight = flag.Int("max-inflight", 0, "max concurrently served transmits (0 = 2x GOMAXPROCS, <0 = unlimited)")
+		idleTimeout = flag.Duration("idle-timeout", 5*time.Minute, "per-connection read deadline; 0 disables")
+		writeFlag   = flag.Duration("write-timeout", 30*time.Second, "per-response write deadline; 0 disables")
 	)
 	flag.Parse()
 	if *workers > 0 {
@@ -110,7 +120,9 @@ func run() error {
 	}
 	log.Printf("edged: listening on %s", ln.Addr())
 
-	srv := &server{sys: sys}
+	srv := newServer(sys, *maxInflight)
+	srv.idleTimeout = *idleTimeout
+	srv.writeTimeout = *writeFlag
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
@@ -118,38 +130,68 @@ func run() error {
 		log.Print("edged: shutting down")
 		ln.Close()
 	}()
+	return srv.serve(ln)
+}
 
+// server dispatches requests straight into the concurrent core.System; no
+// global serialization. A bounded gate caps concurrently served transmits
+// so load spikes queue at the door instead of oversubscribing the host.
+type server struct {
+	sys      *core.System
+	messages atomic.Int64
+	inflight atomic.Int64
+	gate     chan struct{} // nil = unlimited
+	latency  *metrics.Histogram
+
+	idleTimeout  time.Duration // read deadline between requests
+	writeTimeout time.Duration // deadline per response write
+}
+
+// newServer wraps sys. maxInflight 0 selects 2x GOMAXPROCS; negative
+// disables the gate.
+func newServer(sys *core.System, maxInflight int) *server {
+	if maxInflight == 0 {
+		maxInflight = 2 * runtime.GOMAXPROCS(0)
+	}
+	s := &server{sys: sys, latency: metrics.NewLatencyHistogram()}
+	if maxInflight > 0 {
+		s.gate = make(chan struct{}, maxInflight)
+	}
+	return s
+}
+
+// serve accepts connections until the listener closes, then drains the
+// in-flight handlers.
+func (s *server) serve(ln net.Listener) error {
 	var wg sync.WaitGroup
+	defer wg.Wait()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			if errors.Is(err, net.ErrClosed) {
-				break
+				return nil
 			}
 			return err
 		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			srv.handle(conn)
+			s.handle(conn)
 		}()
 	}
-	wg.Wait()
-	return nil
 }
 
-// server serializes system access: the core pipeline is single-writer by
-// design (per-user selection state, update process).
-type server struct {
-	mu       sync.Mutex
-	sys      *core.System
-	messages int
-}
-
-// handle serves one client connection until EOF.
+// handle serves one client connection until EOF or a missed deadline: a
+// stalled peer trips the read deadline instead of pinning the goroutine
+// forever.
 func (s *server) handle(conn net.Conn) {
 	defer conn.Close()
 	for {
+		if s.idleTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(s.idleTimeout)); err != nil {
+				return
+			}
+		}
 		req, err := rpc.ReadRequest(conn)
 		if err != nil {
 			if err != io.EOF {
@@ -158,6 +200,11 @@ func (s *server) handle(conn net.Conn) {
 			return
 		}
 		resp := s.dispatch(req)
+		if s.writeTimeout > 0 {
+			if err := conn.SetWriteDeadline(time.Now().Add(s.writeTimeout)); err != nil {
+				return
+			}
+		}
 		if err := rpc.Write(conn, resp); err != nil {
 			log.Printf("edged: %s: write: %v", conn.RemoteAddr(), err)
 			return
@@ -167,47 +214,62 @@ func (s *server) handle(conn net.Conn) {
 
 // dispatch routes one request.
 func (s *server) dispatch(req *rpc.Request) *rpc.Response {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	switch req.Op {
 	case rpc.OpPing:
 		return &rpc.Response{OK: true}
 	case rpc.OpStats:
 		st := s.sys.Sender.CacheStats()
 		return &rpc.Response{OK: true, Stats: &rpc.Stats{
-			Messages:       s.messages,
+			Messages:       int(s.messages.Load()),
 			SenderHitRate:  st.HitRate(),
 			SyncBytes:      s.sys.SyncBytes(),
 			SyncCount:      s.sys.SyncCount(),
 			CachedModels:   s.sys.Sender.Cache().Len(),
 			CacheUsedBytes: s.sys.Sender.Cache().Used(),
+			InFlight:       int(s.inflight.Load()),
+			LatencyP50Ms:   s.latency.P(50),
+			LatencyP95Ms:   s.latency.P(95),
+			LatencyP99Ms:   s.latency.P(99),
 		}}
 	case rpc.OpTransmit:
-		user := req.User
-		if user == "" {
-			user = "anonymous"
-		}
-		words := text.Tokenize(req.Text)
-		if len(words) == 0 {
-			return &rpc.Response{Error: "empty message"}
-		}
-		res, err := s.sys.TransmitText(user, words)
-		if err != nil {
-			return &rpc.Response{Error: err.Error()}
-		}
-		s.messages++
-		return &rpc.Response{
-			OK:             true,
-			Restored:       text.Join(res.RestoredWords),
-			SelectedDomain: s.sys.Corpus.Domains[res.SelectedDomain].Name,
-			Mismatch:       res.Mismatch,
-			PayloadBytes:   res.PayloadBytes,
-			LatencyMs:      float64(res.Latency) / float64(time.Millisecond),
-			CacheHit:       res.EncCacheHit,
-			Individual:     res.UsedIndividual,
-			UpdateFired:    res.UpdateFired,
-		}
+		return s.transmit(req)
 	default:
 		return &rpc.Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// transmit serves one message through the pipeline, metering service time.
+func (s *server) transmit(req *rpc.Request) *rpc.Response {
+	user := req.User
+	if user == "" {
+		user = "anonymous"
+	}
+	words := text.Tokenize(req.Text)
+	if len(words) == 0 {
+		return &rpc.Response{Error: "empty message"}
+	}
+	if s.gate != nil {
+		s.gate <- struct{}{}
+		defer func() { <-s.gate }()
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	start := time.Now()
+	res, err := s.sys.TransmitText(user, words)
+	if err != nil {
+		return &rpc.Response{Error: err.Error()}
+	}
+	s.latency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	s.messages.Add(1)
+	return &rpc.Response{
+		OK:             true,
+		Restored:       text.Join(res.RestoredWords),
+		SelectedDomain: s.sys.Corpus.Domains[res.SelectedDomain].Name,
+		Mismatch:       res.Mismatch,
+		PayloadBytes:   res.PayloadBytes,
+		LatencyMs:      float64(res.Latency) / float64(time.Millisecond),
+		CacheHit:       res.EncCacheHit,
+		Individual:     res.UsedIndividual,
+		UpdateFired:    res.UpdateFired,
 	}
 }

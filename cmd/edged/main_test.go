@@ -41,7 +41,7 @@ func testServer(t *testing.T) *server {
 			srvErr = err
 			return
 		}
-		srvInst = &server{sys: sys}
+		srvInst = newServer(sys, 0)
 	})
 	if srvErr != nil {
 		t.Fatal(srvErr)

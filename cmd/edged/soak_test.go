@@ -1,0 +1,241 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/mat"
+	"repro/internal/rpc"
+	"repro/internal/semantic"
+	"repro/internal/text"
+)
+
+var (
+	soakOnce     sync.Once
+	soakGenerals []*semantic.Codec
+)
+
+// soakPretrained trains one small set of general codecs shared by every
+// soak/replay system in this file: identical weights are what make the
+// served-versus-direct comparison meaningful.
+func soakPretrained(t *testing.T) []*semantic.Codec {
+	t.Helper()
+	soakOnce.Do(func() {
+		soakGenerals = semantic.PretrainAll(corpus.Build(), semantic.Config{
+			EmbedDim: 12, FeatureDim: 6, HiddenDim: 16,
+			Epochs: 2, Sentences: 300, Seed: 11,
+		})
+	})
+	return soakGenerals
+}
+
+// soakConfig is the system configuration under soak: sticky selection with
+// a small update threshold so fine-tuning and decoder syncs happen under
+// concurrent fire.
+func soakConfig(t *testing.T) core.Config {
+	return core.Config{
+		Selector:        core.SelectorSticky,
+		PinGeneral:      true,
+		BufferThreshold: 8,
+		Seed:            11,
+		Pretrained:      soakPretrained(t),
+	}
+}
+
+// startServer boots an in-process daemon on a loopback port and returns
+// its address plus a shutdown func that joins the serve loop.
+func startServer(t *testing.T, srv *server) (string, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.serve(ln) }()
+	return ln.Addr().String(), func() {
+		ln.Close()
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}
+}
+
+// TestSoakConcurrentClients hammers a started daemon with 32 concurrent
+// sticky connections across distinct users and checks every response plus
+// the exact final counter state.
+func TestSoakConcurrentClients(t *testing.T) {
+	sys, err := core.NewSystem(soakConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(sys, 0)
+	addr, shutdown := startServer(t, srv)
+	defer shutdown()
+
+	const clients, perClient = 32, 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer conn.Close()
+			user := fmt.Sprintf("soak%02d", c)
+			gen := corpus.NewGenerator(sys.Corpus, mat.NewRNG(uint64(2000+c)))
+			for i := 0; i < perClient; i++ {
+				msg := gen.Message(c%len(sys.Corpus.Domains), nil)
+				if err := rpc.Write(conn, &rpc.Request{Op: rpc.OpTransmit, User: user, Text: msg.Text()}); err != nil {
+					errCh <- fmt.Errorf("%s: %w", user, err)
+					return
+				}
+				resp, err := rpc.ReadResponse(conn)
+				if err != nil {
+					errCh <- fmt.Errorf("%s: %w", user, err)
+					return
+				}
+				if !resp.OK {
+					errCh <- fmt.Errorf("%s message %d: daemon error %q", user, i, resp.Error)
+					return
+				}
+				if resp.Restored == "" || resp.PayloadBytes <= 0 || resp.LatencyMs <= 0 {
+					errCh <- fmt.Errorf("%s message %d: implausible response %+v", user, i, resp)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := rpc.Write(conn, &rpc.Request{Op: rpc.OpStats}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := rpc.ReadResponse(conn)
+	if err != nil || !resp.OK || resp.Stats == nil {
+		t.Fatalf("stats failed: %+v, %v", resp, err)
+	}
+	st := resp.Stats
+	if st.Messages != clients*perClient {
+		t.Fatalf("messages = %d, want exactly %d", st.Messages, clients*perClient)
+	}
+	if st.InFlight != 0 {
+		t.Fatalf("in-flight gauge stuck at %d after drain", st.InFlight)
+	}
+	if st.LatencyP50Ms <= 0 || st.LatencyP99Ms < st.LatencyP50Ms {
+		t.Fatalf("latency percentiles implausible: %+v", st)
+	}
+	if st.SyncCount <= 0 || st.SyncBytes <= 0 {
+		t.Fatalf("no decoder updates under soak: %+v", st)
+	}
+	if st.SenderHitRate <= 0 {
+		t.Fatalf("sender cache never hit: %+v", st)
+	}
+}
+
+// TestServedMatchesDirectSerialReplay replays one user's message sequence
+// through a served daemon and through a direct identically-seeded System,
+// and requires bit-identical results field by field — the serve path must
+// add no behavior.
+func TestServedMatchesDirectSerialReplay(t *testing.T) {
+	direct, err := core.NewSystem(soakConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	servedSys, err := core.NewSystem(soakConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(servedSys, 0)
+	addr, shutdown := startServer(t, srv)
+	defer shutdown()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	gen := corpus.NewGenerator(direct.Corpus, mat.NewRNG(77))
+	for i := 0; i < 40; i++ {
+		words := gen.Message(i%len(direct.Corpus.Domains), nil).Words
+		want, err := direct.TransmitText("replay", words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rpc.Write(conn, &rpc.Request{Op: rpc.OpTransmit, User: "replay", Text: strings.Join(words, " ")}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := rpc.ReadResponse(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.OK {
+			t.Fatalf("message %d: daemon error %q", i, got.Error)
+		}
+		if got.Restored != text.Join(want.RestoredWords) {
+			t.Fatalf("message %d: restored %q != direct %q", i, got.Restored, text.Join(want.RestoredWords))
+		}
+		if got.SelectedDomain != direct.Corpus.Domains[want.SelectedDomain].Name {
+			t.Fatalf("message %d: domain %q != direct %q", i, got.SelectedDomain, direct.Corpus.Domains[want.SelectedDomain].Name)
+		}
+		if got.Mismatch != want.Mismatch {
+			t.Fatalf("message %d: mismatch %v != direct %v", i, got.Mismatch, want.Mismatch)
+		}
+		if got.PayloadBytes != want.PayloadBytes {
+			t.Fatalf("message %d: payload %d != direct %d", i, got.PayloadBytes, want.PayloadBytes)
+		}
+		if got.LatencyMs != float64(want.Latency)/float64(time.Millisecond) {
+			t.Fatalf("message %d: latency %v != direct %v", i, got.LatencyMs, want.Latency)
+		}
+		if got.CacheHit != want.EncCacheHit || got.Individual != want.UsedIndividual || got.UpdateFired != want.UpdateFired {
+			t.Fatalf("message %d: flags %+v != direct %+v", i, got, want)
+		}
+	}
+}
+
+// TestStalledClientDisconnected checks the read deadline: a connection
+// that sends nothing must be dropped instead of pinning its goroutine.
+func TestStalledClientDisconnected(t *testing.T) {
+	sys, err := core.NewSystem(soakConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(sys, 0)
+	srv.idleTimeout = 50 * time.Millisecond
+	addr, shutdown := startServer(t, srv)
+	defer shutdown()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	// Send nothing. The server must close the connection, surfacing as
+	// EOF/reset here — not as our own read deadline expiring.
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("stalled connection still open")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("server never dropped the stalled connection")
+	}
+}

@@ -1,0 +1,225 @@
+// Command semload is a closed-loop load generator for the edged daemon:
+// N concurrent users, each with its own sticky connection and
+// deterministic RNG, draw messages from a configurable mix of corpus
+// domains and keep exactly one request outstanding per user until a fixed
+// request budget drains. It reports client-side throughput and a latency
+// histogram, then the daemon's own counters.
+//
+// Usage:
+//
+//	semload [-addr localhost:7060] [-users 8] [-requests 512] \
+//	        [-mix it:3,med:1] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/mat"
+	"repro/internal/metrics"
+	"repro/internal/rpc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("semload: %v", err)
+	}
+}
+
+// parseMix parses "it:3,med:1" into per-domain weights over corp. Names
+// without an explicit weight get weight 1; an empty mix is uniform.
+func parseMix(corp *corpus.Corpus, mix string) ([]float64, error) {
+	weights := make([]float64, len(corp.Domains))
+	if mix == "" {
+		for i := range weights {
+			weights[i] = 1
+		}
+		return weights, nil
+	}
+	for _, part := range strings.Split(mix, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, wstr, hasW := strings.Cut(part, ":")
+		w := 1.0
+		if hasW {
+			var err error
+			if w, err = strconv.ParseFloat(wstr, 64); err != nil || w < 0 {
+				return nil, fmt.Errorf("bad mix weight %q", part)
+			}
+		}
+		d := corp.Domain(name)
+		if d == nil {
+			return nil, fmt.Errorf("unknown domain %q (have %v)", name, corp.Names())
+		}
+		weights[d.Index] += w
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("mix %q has zero total weight", mix)
+	}
+	return weights, nil
+}
+
+// pickDomain draws a domain index from the cumulative weights.
+func pickDomain(rng *mat.RNG, cum []float64) int {
+	x := rng.Float64() * cum[len(cum)-1]
+	for i, c := range cum {
+		if x < c {
+			return i
+		}
+	}
+	return len(cum) - 1
+}
+
+// userLoop is one closed-loop client: claim a request from the shared
+// budget, send it on the sticky connection, wait for the response, repeat.
+func userLoop(addr, user string, rng *mat.RNG, corp *corpus.Corpus, cum []float64,
+	budget *atomic.Int64, hist *metrics.Histogram, sent []atomic.Int64, errs *atomic.Int64) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("%s: dial: %w", user, err)
+	}
+	defer conn.Close()
+	gen := corpus.NewGenerator(corp, rng)
+	for budget.Add(-1) >= 0 {
+		di := pickDomain(rng, cum)
+		msg := gen.Message(di, nil)
+		start := time.Now()
+		if err := rpc.Write(conn, &rpc.Request{Op: rpc.OpTransmit, User: user, Text: msg.Text()}); err != nil {
+			return fmt.Errorf("%s: write: %w", user, err)
+		}
+		resp, err := rpc.ReadResponse(conn)
+		if err != nil {
+			return fmt.Errorf("%s: read: %w", user, err)
+		}
+		hist.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+		sent[di].Add(1)
+		if !resp.OK {
+			errs.Add(1)
+		}
+	}
+	return nil
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "localhost:7060", "edged address")
+		users    = flag.Int("users", 8, "concurrent users, one sticky connection each")
+		requests = flag.Int("requests", 512, "total request budget across all users")
+		mix      = flag.String("mix", "", "domain mix as name:weight,... (default uniform over all domains)")
+		seed     = flag.Uint64("seed", 1, "deterministic seed; user u gets the u-th split")
+	)
+	flag.Parse()
+	if *users <= 0 || *requests <= 0 {
+		return fmt.Errorf("need positive -users and -requests (got %d, %d)", *users, *requests)
+	}
+
+	corp := corpus.Build()
+	weights, err := parseMix(corp, *mix)
+	if err != nil {
+		return err
+	}
+	cum := make([]float64, len(weights))
+	sum := 0.0
+	for i, w := range weights {
+		sum += w
+		cum[i] = sum
+	}
+
+	// Per-user RNGs split in user order from one seeded root, so a run is
+	// reproducible for any fixed (-seed, -users).
+	root := mat.NewRNG(*seed)
+	rngs := make([]*mat.RNG, *users)
+	for i := range rngs {
+		rngs[i] = root.Split()
+	}
+
+	var (
+		budget  atomic.Int64
+		errs    atomic.Int64
+		hist    = metrics.NewLatencyHistogram()
+		sent    = make([]atomic.Int64, len(corp.Domains))
+		loopErr error
+		errMu   sync.Mutex
+		wg      sync.WaitGroup
+	)
+	budget.Store(int64(*requests))
+
+	start := time.Now()
+	for u := 0; u < *users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			user := fmt.Sprintf("u%03d", u)
+			if err := userLoop(*addr, user, rngs[u], corp, cum, &budget, hist, sent, &errs); err != nil {
+				errMu.Lock()
+				if loopErr == nil {
+					loopErr = err
+				}
+				errMu.Unlock()
+			}
+		}(u)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if loopErr != nil {
+		return loopErr
+	}
+
+	done := hist.N()
+	fmt.Printf("requests : %d ok, %d daemon errors, %d users, %.2fs\n",
+		done-errs.Load(), errs.Load(), *users, elapsed.Seconds())
+	fmt.Printf("rate     : %.1f req/s (closed loop)\n", float64(done)/elapsed.Seconds())
+	fmt.Printf("latency  : mean %.2f ms  p50 %.2f ms  p95 %.2f ms  p99 %.2f ms\n",
+		hist.Mean(), hist.P(50), hist.P(95), hist.P(99))
+	type dc struct {
+		name string
+		n    int64
+	}
+	mixed := make([]dc, 0, len(corp.Domains))
+	for i := range sent {
+		if n := sent[i].Load(); n > 0 {
+			mixed = append(mixed, dc{corp.Domains[i].Name, n})
+		}
+	}
+	sort.Slice(mixed, func(i, j int) bool { return mixed[i].n > mixed[j].n })
+	parts := make([]string, len(mixed))
+	for i, d := range mixed {
+		parts[i] = fmt.Sprintf("%s:%d", d.name, d.n)
+	}
+	fmt.Printf("mix      : %s\n", strings.Join(parts, " "))
+
+	// Close with the daemon's own view of the run.
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		return nil // report is already printed; stats are best-effort
+	}
+	defer conn.Close()
+	if err := rpc.Write(conn, &rpc.Request{Op: rpc.OpStats}); err != nil {
+		return nil
+	}
+	resp, err := rpc.ReadResponse(conn)
+	if err != nil || !resp.OK || resp.Stats == nil {
+		return nil
+	}
+	s := resp.Stats
+	fmt.Printf("daemon   : %d messages, hit %.1f%%, in-flight %d, service p50 %.2f ms p95 %.2f ms p99 %.2f ms\n",
+		s.Messages, 100*s.SenderHitRate, s.InFlight, s.LatencyP50Ms, s.LatencyP95Ms, s.LatencyP99Ms)
+	fmt.Printf("syncs    : %d decoder updates, %d bytes\n", s.SyncCount, s.SyncBytes)
+	return nil
+}

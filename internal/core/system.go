@@ -13,12 +13,22 @@
 //     update is shipped to the receiver edge, federated-learning style
 //     (§II-D).
 //
-// A System is deterministic given its Config.Seed.
+// A System is deterministic given its Config.Seed and is safe for
+// concurrent use: requests from different users proceed in parallel,
+// while requests from the same user are serialized in arrival order (a
+// user's selector context, transaction buffer and individual models form
+// one causal stream). On an otherwise idle system a user observes the
+// exact result sequence the fully serialized system would produce; under
+// concurrent traffic per-user state still evolves identically, but
+// channel-noise draws come from one shared RNG in global arrival order,
+// so individual noise realizations depend on the interleaving.
 package core
 
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/channel"
@@ -193,18 +203,59 @@ type System struct {
 	Receiver *edge.Server
 	Generals []*semantic.Codec
 
-	nb        *selection.NaiveBayes
-	selectors *selection.PerUser
-	oracle    bool
+	nb         *selection.NaiveBayes
+	selFactory func() selection.Selector
+	oracle     bool
 
+	// users shards per-user mutable state; usersMu guards the map only.
+	// Each userState carries its own mutex so independent users transmit
+	// in parallel while one user's requests stay serialized.
+	usersMu sync.RWMutex
+	users   map[string]*userState
+
+	// linkMu serializes the shared physical channel: its noise RNG is the
+	// one stateful component every transmission crosses. The critical
+	// section is small next to the encode/decode compute, which runs
+	// outside it.
+	linkMu       sync.Mutex
 	link         channel.FeatureLink
 	symbolRateHz float64
 	edgeLink     netsim.Link
 
-	// Aggregate counters.
-	syncBytes   int64
-	syncCount   int
-	syncLatency time.Duration
+	// Aggregate counters (atomic: updated from concurrent transmits).
+	syncBytes   atomic.Int64
+	syncCount   atomic.Int64
+	syncLatency atomic.Int64 // nanoseconds
+}
+
+// userState is one user's shard of mutable system state. Its mutex spans
+// the whole transmit so the selector context, buffer arithmetic and
+// individual-model updates of one user form a serial stream.
+type userState struct {
+	mu  sync.Mutex
+	sel selection.Selector // nil under the oracle policy
+}
+
+// userState returns the state shard for user, creating it on first use.
+// Selector construction happens under the map write lock: factories may
+// split a shared RNG, which must not race.
+func (s *System) userState(user string) *userState {
+	s.usersMu.RLock()
+	st := s.users[user]
+	s.usersMu.RUnlock()
+	if st != nil {
+		return st
+	}
+	s.usersMu.Lock()
+	defer s.usersMu.Unlock()
+	if st = s.users[user]; st == nil {
+		st = &userState{}
+		if !s.oracle {
+			st.sel = s.selFactory()
+		}
+		s.users[user] = st
+	}
+	return st
 }
 
 // selectorFactories maps each non-oracle selector name to a builder of
@@ -346,6 +397,7 @@ func NewSystem(cfg Config) (*System, error) {
 		link:         link,
 		symbolRateHz: cfg.SymbolRateHz,
 		edgeLink:     cfg.EdgeLink,
+		users:        make(map[string]*userState, 16),
 	}
 	if err := s.initSelectors(rng); err != nil {
 		return nil, err
@@ -372,7 +424,11 @@ func (s *System) initSelectors(rng *mat.RNG) error {
 		return fmt.Errorf("core: unknown selector %q", cfg.Selector)
 	}
 	s.nb = selection.TrainNaiveBayes(s.Corpus, 150, cfg.Seed^0xbead)
-	s.selectors = selection.NewPerUser(build(s, rng))
+	s.selFactory = build(s, rng)
+	// Probe once, exactly as selection.NewPerUser did before per-user
+	// sharding: factories that split an RNG per instance keep the same
+	// split sequence, so per-user selector streams stay bit-identical.
+	s.selFactory()
 	return nil
 }
 
@@ -413,19 +469,21 @@ type Result struct {
 	UpdateBytes int
 }
 
-// Transmit runs one message through the full pipeline.
+// Transmit runs one message through the full pipeline. Transmissions for
+// different users run concurrently; same-user calls serialize.
 func (s *System) Transmit(req trace.Request) (*Result, error) {
 	msg := req.Msg
+	st := s.userState(req.User)
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	// Step 1: model selection on the sender edge.
 	var selected int
-	var sel selection.Selector
 	if s.oracle {
 		selected = msg.DomainIndex
 	} else {
-		sel = s.selectors.For(req.User)
-		selected = sel.Select(msg.Words)
+		selected = st.sel.Select(msg.Words)
 	}
-	res, decoded, err := s.transmitSelected(req.User, msg.Words, selected, sel)
+	res, decoded, err := s.transmitSelected(req.User, msg.Words, selected, st.sel)
 	if err != nil {
 		return nil, err
 	}
@@ -443,9 +501,11 @@ func (s *System) TransmitText(user string, words []string) (*Result, error) {
 	if s.oracle {
 		return nil, errors.New("core: oracle selector requires ground-truth requests")
 	}
-	sel := s.selectors.For(user)
-	selected := sel.Select(words)
-	res, _, err := s.transmitSelected(user, words, selected, sel)
+	st := s.userState(user)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	selected := st.sel.Select(words)
+	res, _, err := s.transmitSelected(user, words, selected, st.sel)
 	if err != nil {
 		return nil, err
 	}
@@ -468,8 +528,11 @@ func (s *System) transmitSelected(user string, words []string, selected int, sel
 		return nil, nil, err
 	}
 
-	// Step 3: physical channel.
+	// Step 3: physical channel. The shared noise RNG serializes here;
+	// everything compute-heavy stays outside the critical section.
+	s.linkMu.Lock()
 	rxFeats, stats := s.link.Send(enc.Features, enc.Model.Codec.FeatureDim())
+	s.linkMu.Unlock()
 	airTime := time.Duration(float64(stats.Symbols) / s.symbolRateHz * float64(time.Second))
 	airTime += s.edgeLink.Latency
 
@@ -544,17 +607,21 @@ func (s *System) ProcessUpdate(domain, user string) (int, error) {
 	if err := s.Receiver.ApplyRemoteUpdate(upd); err != nil {
 		return 0, err
 	}
-	s.syncBytes += int64(upd.Stats.PayloadBytes)
-	s.syncCount++
-	s.syncLatency += s.edgeLink.TransferTime(int64(upd.Stats.PayloadBytes))
+	s.syncBytes.Add(int64(upd.Stats.PayloadBytes))
+	s.syncCount.Add(1)
+	s.syncLatency.Add(int64(s.edgeLink.TransferTime(int64(upd.Stats.PayloadBytes))))
 	return upd.Stats.PayloadBytes, nil
 }
 
 // SyncBytes returns the cumulative decoder-update traffic.
-func (s *System) SyncBytes() int64 { return s.syncBytes }
+func (s *System) SyncBytes() int64 { return s.syncBytes.Load() }
 
 // SyncCount returns the number of decoder updates shipped.
-func (s *System) SyncCount() int { return s.syncCount }
+func (s *System) SyncCount() int { return int(s.syncCount.Load()) }
+
+// SyncLatency returns the cumulative simulated edge-link transfer time of
+// all shipped decoder updates.
+func (s *System) SyncLatency() time.Duration { return time.Duration(s.syncLatency.Load()) }
 
 // RunWorkload transmits every request in w, returning per-message results.
 func (s *System) RunWorkload(w *trace.Workload) ([]Result, error) {

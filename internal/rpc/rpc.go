@@ -37,12 +37,14 @@ type Response struct {
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
 
-	// Transmit results.
+	// Transmit results. Mismatch, PayloadBytes and LatencyMs always
+	// serialize: a perfect zero-mismatch transmit must stay
+	// distinguishable from a response that never set the field.
 	Restored       string  `json:"restored,omitempty"`
 	SelectedDomain string  `json:"selected_domain,omitempty"`
-	Mismatch       float64 `json:"mismatch,omitempty"`
-	PayloadBytes   int     `json:"payload_bytes,omitempty"`
-	LatencyMs      float64 `json:"latency_ms,omitempty"`
+	Mismatch       float64 `json:"mismatch"`
+	PayloadBytes   int     `json:"payload_bytes"`
+	LatencyMs      float64 `json:"latency_ms"`
 	CacheHit       bool    `json:"cache_hit,omitempty"`
 	Individual     bool    `json:"individual_model,omitempty"`
 	UpdateFired    bool    `json:"update_fired,omitempty"`
@@ -59,6 +61,14 @@ type Stats struct {
 	SyncCount      int     `json:"sync_count"`
 	CachedModels   int     `json:"cached_models"`
 	CacheUsedBytes int64   `json:"cache_used_bytes"`
+
+	// InFlight is the number of transmits being served right now.
+	InFlight int `json:"in_flight"`
+	// Latency percentiles of daemon-side transmit service time, in
+	// milliseconds, from the daemon's streaming histogram.
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP95Ms float64 `json:"latency_p95_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
 }
 
 // errFrameTooLarge reports an oversized wire frame.

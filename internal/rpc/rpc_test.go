@@ -3,6 +3,7 @@ package rpc
 import (
 	"bytes"
 	"encoding/binary"
+	"encoding/json"
 	"io"
 	"net"
 	"testing"
@@ -36,6 +37,20 @@ func TestResponseRoundTrip(t *testing.T) {
 	}
 	if out.Restored != in.Restored || out.Stats.Messages != 3 {
 		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestZeroTransmitFieldsSerialize(t *testing.T) {
+	payload, err := json.Marshal(&Response{OK: true, Restored: "perfect"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A flawless transmit (mismatch 0) must not be indistinguishable from
+	// a response that never set the field.
+	for _, field := range []string{`"mismatch"`, `"payload_bytes"`, `"latency_ms"`} {
+		if !bytes.Contains(payload, []byte(field)) {
+			t.Fatalf("zero-valued %s dropped from wire form %s", field, payload)
+		}
 	}
 }
 
