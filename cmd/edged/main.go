@@ -7,9 +7,16 @@
 // from different users run in parallel, bounded by the -max-inflight gate;
 // requests from one user serialize inside the system.
 //
+// With -nodes N the sender side becomes an N-node edge cluster: users are
+// routed to nodes by consistent hashing, the "move" op relocates a user
+// to a radio cell (handing their personalized models over when the
+// serving node changes), nodes resolve cache misses from their neighbors
+// before paying the cloud origin, and "stats" reports per-node counters.
+//
 // Usage:
 //
 //	edged [-addr :7060] [-selector sticky] [-snr 12] [-seed 1] [-max-inflight 16]
+//	edged -nodes 3 ...
 package main
 
 import (
@@ -75,6 +82,7 @@ func run() error {
 		snr         = flag.Float64("snr", 12, "channel SNR in dB")
 		seed        = flag.Uint64("seed", 1, "deterministic seed")
 		kbDir       = flag.String("kb", "", "directory of pretrained .kbm models (see cmd/semkb); empty pretrains at startup")
+		nodes       = flag.Int("nodes", 0, "cluster mode: number of sender edge nodes (0/1 = classic single sender)")
 		workers     = flag.Int("workers", 0, "parallel workers for pretraining and codec kernels (0 = GOMAXPROCS)")
 		maxInflight = flag.Int("max-inflight", 0, "max concurrently served transmits (0 = 2x GOMAXPROCS, <0 = unlimited)")
 		idleTimeout = flag.Duration("idle-timeout", 5*time.Minute, "per-connection read deadline; 0 disables")
@@ -90,6 +98,7 @@ func run() error {
 		SNRdB:      *snr,
 		PinGeneral: true,
 		Seed:       *seed,
+		Nodes:      *nodes,
 	}
 	start := time.Now()
 	if *kbDir != "" {
@@ -106,11 +115,17 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// In cluster mode only node 0 (= sys.Sender) is warmed: the other
+	// nodes pull models cooperatively from their neighbors on first miss,
+	// which is exactly the behavior the cluster exists to show.
 	if _, err := sys.Sender.Prefetch(sys.Corpus.Names()); err != nil {
 		return err
 	}
 	if _, err := sys.Receiver.Prefetch(sys.Corpus.Names()); err != nil {
 		return err
+	}
+	if sys.Cluster != nil {
+		log.Printf("edged: cluster mode, %d nodes (node-0 warm, peers cold)", sys.Cluster.NumNodes())
 	}
 	log.Printf("edged: ready in %v (domains: %v)", time.Since(start).Round(time.Millisecond), sys.Corpus.Names())
 
@@ -218,24 +233,82 @@ func (s *server) dispatch(req *rpc.Request) *rpc.Response {
 	case rpc.OpPing:
 		return &rpc.Response{OK: true}
 	case rpc.OpStats:
-		st := s.sys.Sender.CacheStats()
-		return &rpc.Response{OK: true, Stats: &rpc.Stats{
-			Messages:       int(s.messages.Load()),
-			SenderHitRate:  st.HitRate(),
-			SyncBytes:      s.sys.SyncBytes(),
-			SyncCount:      s.sys.SyncCount(),
-			CachedModels:   s.sys.Sender.Cache().Len(),
-			CacheUsedBytes: s.sys.Sender.Cache().Used(),
-			InFlight:       int(s.inflight.Load()),
-			LatencyP50Ms:   s.latency.P(50),
-			LatencyP95Ms:   s.latency.P(95),
-			LatencyP99Ms:   s.latency.P(99),
-		}}
+		return &rpc.Response{OK: true, Stats: s.stats()}
 	case rpc.OpTransmit:
 		return s.transmit(req)
+	case rpc.OpMove:
+		return s.move(req)
 	default:
 		return &rpc.Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
+}
+
+// stats snapshots the daemon counters; in cluster mode the sender-side
+// numbers aggregate every node and per-node detail rides along.
+func (s *server) stats() *rpc.Stats {
+	st := &rpc.Stats{
+		Messages:     int(s.messages.Load()),
+		SyncBytes:    s.sys.SyncBytes(),
+		SyncCount:    s.sys.SyncCount(),
+		InFlight:     int(s.inflight.Load()),
+		LatencyP50Ms: s.latency.P(50),
+		LatencyP95Ms: s.latency.P(95),
+		LatencyP99Ms: s.latency.P(99),
+	}
+	if s.sys.Cluster == nil {
+		cs := s.sys.Sender.CacheStats()
+		st.SenderHitRate = cs.HitRate()
+		st.CachedModels = s.sys.Sender.Cache().Len()
+		st.CacheUsedBytes = s.sys.Sender.Cache().Used()
+		return st
+	}
+	cl := s.sys.Cluster.Stats()
+	st.Handovers = cl.Handovers
+	st.MigratedBytes = cl.MigratedBytes
+	var hits, misses uint64
+	st.Nodes = make([]rpc.NodeStats, len(cl.Nodes))
+	for i, n := range cl.Nodes {
+		hits += n.Cache.Hits
+		misses += n.Cache.Misses
+		st.CachedModels += n.CachedModels
+		st.CacheUsedBytes += n.CacheUsedBytes
+		st.Nodes[i] = rpc.NodeStats{
+			Name:           n.Name,
+			Users:          n.Users,
+			HitRate:        n.Cache.HitRate(),
+			CachedModels:   n.CachedModels,
+			CacheUsedBytes: n.CacheUsedBytes,
+			HandoversIn:    n.HandoversIn,
+			HandoversOut:   n.HandoversOut,
+			NeighborHits:   n.NeighborHits,
+			NeighborServed: n.NeighborServed,
+			OriginFetches:  n.OriginFetches,
+		}
+	}
+	if total := hits + misses; total > 0 {
+		st.SenderHitRate = float64(hits) / float64(total)
+	}
+	return st
+}
+
+// move serves one OpMove: attach the user to a cell, handing their
+// individual models over when the serving node changes.
+func (s *server) move(req *rpc.Request) *rpc.Response {
+	if req.User == "" {
+		return &rpc.Response{Error: "move requires a user"}
+	}
+	res, err := s.sys.MoveUser(req.User, req.Cell)
+	if err != nil {
+		return &rpc.Response{Error: err.Error()}
+	}
+	return &rpc.Response{OK: true, Handover: &rpc.Handover{
+		From:          s.sys.Cluster.Node(res.From).Name(),
+		To:            s.sys.Cluster.Node(res.To).Name(),
+		Moved:         res.Moved,
+		Models:        res.Models,
+		MigratedBytes: res.Bytes,
+		LatencyMs:     float64(res.Latency) / float64(time.Millisecond),
+	}}
 }
 
 // transmit serves one message through the pipeline, metering service time.

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id: e1..e8, ablate, or all")
+		exp     = flag.String("exp", "all", "experiment id: e1..e11, ablate, or all")
 		quick   = flag.Bool("quick", false, "reduced sizes for a fast run")
 		workers = flag.Int("workers", 0, "parallel workers for pretraining and trial fan-out (0 = GOMAXPROCS)")
 	)
@@ -53,10 +53,11 @@ func run(exp string, quick bool) error {
 		"e8":     func() error { return runE8(env, quick) },
 		"e9":     func() error { return runE9(env, quick) },
 		"e10":    func() error { return runE10(env, quick) },
+		"e11":    func() error { return runE11(env, quick) },
 		"ablate": func() error { return runAblate(env, quick) },
 	}
 	if exp == "all" {
-		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "ablate"} {
+		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "ablate"} {
 			if err := runners[id](); err != nil {
 				return fmt.Errorf("%s: %w", id, err)
 			}
@@ -65,9 +66,23 @@ func run(exp string, quick bool) error {
 	}
 	r, ok := runners[exp]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q (want e1..e10, ablate, all)", exp)
+		return fmt.Errorf("unknown experiment %q (want e1..e11, ablate, all)", exp)
 	}
 	return r()
+}
+
+func runE11(env *experiments.Env, quick bool) error {
+	opts := experiments.E11Options{}
+	if quick {
+		opts.Requests = 1000
+		opts.NodeCounts = []int{2}
+	}
+	res, err := experiments.RunE11(env, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.TableG())
+	return nil
 }
 
 func runE9(env *experiments.Env, quick bool) error {

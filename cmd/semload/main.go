@@ -5,16 +5,26 @@
 // request budget drains. It reports client-side throughput and a latency
 // histogram, then the daemon's own counters.
 //
+// With -mobility it instead runs the cluster churn scenario against an
+// edged started with -nodes N: one serial deterministic request stream in
+// which users roam across radio cells (OpMove) between transmits, so
+// handovers and cooperative cache fetches happen under load. The run
+// prints a 64-bit digest over every response; two runs with the same
+// -seed against identically-started daemons are bit-identical.
+//
 // Usage:
 //
 //	semload [-addr localhost:7060] [-users 8] [-requests 512] \
 //	        [-mix it:3,med:1] [-seed 1]
+//	semload -mobility [-cells 3] [-move-rate 0.1] ...
 package main
 
 import (
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"log"
+	"math"
 	"net"
 	"sort"
 	"strconv"
@@ -123,10 +133,19 @@ func run() error {
 		requests = flag.Int("requests", 512, "total request budget across all users")
 		mix      = flag.String("mix", "", "domain mix as name:weight,... (default uniform over all domains)")
 		seed     = flag.Uint64("seed", 1, "deterministic seed; user u gets the u-th split")
+		mobility = flag.Bool("mobility", false, "run the serial mobility scenario against a cluster-mode edged (-nodes)")
+		cells    = flag.Int("cells", 3, "radio cells users roam across (with -mobility)")
+		moveRate = flag.Float64("move-rate", 0.1, "per-request probability a user moves to a random cell (with -mobility)")
 	)
 	flag.Parse()
 	if *users <= 0 || *requests <= 0 {
 		return fmt.Errorf("need positive -users and -requests (got %d, %d)", *users, *requests)
+	}
+	if *mobility {
+		if *cells < 2 {
+			return fmt.Errorf("-mobility needs at least 2 -cells, got %d", *cells)
+		}
+		return runMobility(*addr, *users, *requests, *cells, *moveRate, *seed, *mix)
 	}
 
 	corp := corpus.Build()
@@ -205,21 +224,157 @@ func run() error {
 	fmt.Printf("mix      : %s\n", strings.Join(parts, " "))
 
 	// Close with the daemon's own view of the run.
-	conn, err := net.Dial("tcp", *addr)
+	printDaemonStats(*addr)
+	return nil
+}
+
+// printDaemonStats fetches and prints the daemon counters (best-effort:
+// the client-side report is already out).
+func printDaemonStats(addr string) {
+	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil // report is already printed; stats are best-effort
+		return
 	}
 	defer conn.Close()
 	if err := rpc.Write(conn, &rpc.Request{Op: rpc.OpStats}); err != nil {
-		return nil
+		return
 	}
 	resp, err := rpc.ReadResponse(conn)
 	if err != nil || !resp.OK || resp.Stats == nil {
-		return nil
+		return
 	}
 	s := resp.Stats
 	fmt.Printf("daemon   : %d messages, hit %.1f%%, in-flight %d, service p50 %.2f ms p95 %.2f ms p99 %.2f ms\n",
 		s.Messages, 100*s.SenderHitRate, s.InFlight, s.LatencyP50Ms, s.LatencyP95Ms, s.LatencyP99Ms)
 	fmt.Printf("syncs    : %d decoder updates, %d bytes\n", s.SyncCount, s.SyncBytes)
+	if len(s.Nodes) == 0 {
+		return
+	}
+	var neighborHits int64
+	for _, n := range s.Nodes {
+		neighborHits += n.NeighborHits
+	}
+	fmt.Printf("cluster  : %d handovers, %d bytes migrated, %d neighbor cache hits\n",
+		s.Handovers, s.MigratedBytes, neighborHits)
+	for _, n := range s.Nodes {
+		fmt.Printf("  %-8s: %d users, hit %.1f%%, %d models, handover in/out %d/%d, neighbor hit/served %d/%d, origin %d\n",
+			n.Name, n.Users, 100*n.HitRate, n.CachedModels,
+			n.HandoversIn, n.HandoversOut, n.NeighborHits, n.NeighborServed, n.OriginFetches)
+	}
+}
+
+// foldResponse folds the deterministic fields of one response into the
+// run digest. Simulated latency is included (it is virtual time, not
+// wall-clock); service-time metrics are not.
+func foldResponse(digest *uint64, parts ...string) {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	// Mix order-dependently (boost-style) so reordered responses change
+	// the digest even when the multiset of responses is unchanged.
+	*digest ^= h.Sum64() + 0x9e3779b97f4a7c15 + (*digest << 6) + (*digest >> 2)
+}
+
+// runMobility drives the cluster churn scenario: a single connection
+// serves a serial, fully seeded stream in which each step may first move
+// the emitting user to a random cell (a handover when the serving node
+// changes) and then transmits one message. Serial execution is what makes
+// the run digest reproducible: responses arrive in issue order.
+func runMobility(addr string, users, requests, cells int, moveRate float64, seed uint64, mix string) error {
+	corp := corpus.Build()
+	weights, err := parseMix(corp, mix)
+	if err != nil {
+		return err
+	}
+	cum := make([]float64, len(weights))
+	sum := 0.0
+	for i, w := range weights {
+		sum += w
+		cum[i] = sum
+	}
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	// One scheduler stream for user order and mobility, one generator
+	// stream per user, all split in fixed order from the root seed.
+	root := mat.NewRNG(seed)
+	sched := root.Split()
+	gens := make([]*corpus.Generator, users)
+	for i := range gens {
+		gens[i] = corpus.NewGenerator(corp, root.Split())
+	}
+
+	var (
+		digest    uint64
+		hist      = metrics.NewLatencyHistogram()
+		handovers int
+		moves     int
+		daemonErr int
+	)
+	start := time.Now()
+	for i := 0; i < requests; i++ {
+		u := sched.Intn(users)
+		user := fmt.Sprintf("u%03d", u)
+		if sched.Float64() < moveRate {
+			cell := sched.Intn(cells)
+			if err := rpc.Write(conn, &rpc.Request{Op: rpc.OpMove, User: user, Cell: cell}); err != nil {
+				return fmt.Errorf("move %s: %w", user, err)
+			}
+			resp, err := rpc.ReadResponse(conn)
+			if err != nil {
+				return fmt.Errorf("move %s: %w", user, err)
+			}
+			if !resp.OK {
+				return fmt.Errorf("move %s: daemon error %q (is edged running with -nodes?)", user, resp.Error)
+			}
+			if resp.Handover == nil {
+				return fmt.Errorf("move %s: daemon sent no handover result (version skew?)", user)
+			}
+			moves++
+			if resp.Handover.Moved {
+				handovers++
+			}
+			foldResponse(&digest, "move", user, strconv.Itoa(cell),
+				resp.Handover.From, resp.Handover.To,
+				strconv.FormatBool(resp.Handover.Moved),
+				strconv.FormatInt(resp.Handover.MigratedBytes, 10))
+		}
+		di := pickDomain(sched, cum)
+		msg := gens[u].Message(di, nil)
+		reqStart := time.Now()
+		if err := rpc.Write(conn, &rpc.Request{Op: rpc.OpTransmit, User: user, Text: msg.Text()}); err != nil {
+			return fmt.Errorf("%s: write: %w", user, err)
+		}
+		resp, err := rpc.ReadResponse(conn)
+		if err != nil {
+			return fmt.Errorf("%s: read: %w", user, err)
+		}
+		hist.Observe(float64(time.Since(reqStart)) / float64(time.Millisecond))
+		if !resp.OK {
+			daemonErr++
+			foldResponse(&digest, "error", user, resp.Error)
+			continue
+		}
+		foldResponse(&digest, "transmit", user, resp.Restored, resp.SelectedDomain,
+			strconv.FormatUint(math.Float64bits(resp.Mismatch), 16),
+			strconv.Itoa(resp.PayloadBytes),
+			strconv.FormatUint(math.Float64bits(resp.LatencyMs), 16))
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("requests : %d ok, %d daemon errors, %d users (serial), %.2fs\n",
+		requests-daemonErr, daemonErr, users, elapsed.Seconds())
+	fmt.Printf("rate     : %.1f req/s (closed loop)\n", float64(requests)/elapsed.Seconds())
+	fmt.Printf("latency  : mean %.2f ms  p50 %.2f ms  p95 %.2f ms  p99 %.2f ms\n",
+		hist.Mean(), hist.P(50), hist.P(95), hist.P(99))
+	fmt.Printf("mobility : %d moves, %d handovers, %d cells, rate %.2f\n", moves, handovers, cells, moveRate)
+	fmt.Printf("digest   : %016x\n", digest)
+	printDaemonStats(addr)
 	return nil
 }

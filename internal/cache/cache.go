@@ -85,6 +85,20 @@ func (c *Cache) Get(k kb.Key) (*kb.Model, bool) {
 	return e.model, true
 }
 
+// Peek returns the cached model for k without recording a hit or miss and
+// without touching eviction recency. Cooperative caching uses it: a
+// neighbor probing this cache must not distort the local policy's view of
+// local demand.
+func (c *Cache) Peek(k kb.Key) (*kb.Model, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if !ok {
+		return nil, false
+	}
+	return e.model, true
+}
+
 // Contains reports presence without touching statistics or recency.
 func (c *Cache) Contains(k kb.Key) bool {
 	c.mu.Lock()
@@ -185,6 +199,22 @@ func (c *Cache) ResetStats() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.stats = Stats{}
+}
+
+// KeysWhere returns the cached keys satisfying pred, in no particular
+// order. pred runs under the cache lock and must not call back into the
+// cache. Unlike Keys it never renders or sorts the full key set, so
+// filtered scans stay cheap on large caches.
+func (c *Cache) KeysWhere(pred func(kb.Key) bool) []kb.Key {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var keys []kb.Key
+	for k := range c.entries {
+		if pred(k) {
+			keys = append(keys, k)
+		}
+	}
+	return keys
 }
 
 // Keys returns the cached keys in deterministic (string-sorted) order.

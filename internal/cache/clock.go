@@ -85,3 +85,6 @@ func (p *Clock) Victim() (kb.Key, bool) {
 	// concurrent access, which Cache serializes); fall back to the front.
 	return p.ring.Front().Value.(kb.Key), true
 }
+
+// Len implements Policy.
+func (p *Clock) Len() int { return len(p.items) }

@@ -5,6 +5,7 @@
 package cache
 
 import (
+	"container/heap"
 	"container/list"
 
 	"repro/internal/kb"
@@ -13,9 +14,9 @@ import (
 // Policy orders cache entries for eviction. Implementations are not safe
 // for concurrent use; Cache serializes calls under its own lock.
 //
-// Model caches hold tens of entries, so the scan-based policies (LFU,
-// GDSF) accept O(n) victim selection in exchange for simplicity; LRU and
-// FIFO are O(1).
+// All policies select victims in O(log n) or better: LRU, FIFO and CLOCK
+// are list-based, LFU and GDSF keep an indexed min-heap so cluster-scale
+// caches (tens of thousands of individual models) never pay a linear scan.
 type Policy interface {
 	// Name identifies the policy in experiment output.
 	Name() string
@@ -28,6 +29,9 @@ type Policy interface {
 	// Victim proposes the next entry to evict. It returns false when the
 	// policy tracks no entries.
 	Victim() (kb.Key, bool)
+	// Len returns the number of tracked (unpinned) entries. The cache
+	// invariant suite checks it against the entry table after every op.
+	Len() int
 }
 
 // LRU evicts the least recently used entry.
@@ -79,6 +83,9 @@ func (p *LRU) Victim() (kb.Key, bool) {
 	return e.Value.(kb.Key), true
 }
 
+// Len implements Policy.
+func (p *LRU) Len() int { return len(p.items) }
+
 // FIFO evicts the oldest-inserted entry regardless of use.
 type FIFO struct {
 	ll    *list.List // front = newest
@@ -123,19 +130,60 @@ func (p *FIFO) Victim() (kb.Key, bool) {
 	return e.Value.(kb.Key), true
 }
 
+// Len implements Policy.
+func (p *FIFO) Len() int { return len(p.items) }
+
 // LFU evicts the least frequently used entry, breaking ties by least
-// recent access.
+// recent access. Entries live in an indexed min-heap ordered by
+// (frequency, access tick); ticks are unique, so the order is total and
+// Victim is an O(1) peek with O(log n) updates — identical eviction order
+// to a full scan, proven by the property harness.
 type LFU struct {
-	freq map[kb.Key]int
-	tick map[kb.Key]uint64
-	now  uint64
+	items map[kb.Key]*lfuItem
+	heap  lfuHeap
+	now   uint64
+}
+
+// lfuItem is one heap-resident entry.
+type lfuItem struct {
+	key  kb.Key
+	freq int
+	tick uint64
+	idx  int
+}
+
+// lfuHeap implements container/heap ordered by (freq, tick) ascending.
+type lfuHeap []*lfuItem
+
+func (h lfuHeap) Len() int { return len(h) }
+func (h lfuHeap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].tick < h[j].tick
+}
+func (h lfuHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *lfuHeap) Push(x any) {
+	it := x.(*lfuItem)
+	it.idx = len(*h)
+	*h = append(*h, it)
+}
+func (h *lfuHeap) Pop() any {
+	old := *h
+	it := old[len(old)-1]
+	old[len(old)-1] = nil
+	*h = old[:len(old)-1]
+	return it
 }
 
 var _ Policy = (*LFU)(nil)
 
 // NewLFU returns an empty LFU policy.
 func NewLFU() *LFU {
-	return &LFU{freq: make(map[kb.Key]int, 16), tick: make(map[kb.Key]uint64, 16)}
+	return &LFU{items: make(map[kb.Key]*lfuItem, 16)}
 }
 
 // Name implements Policy.
@@ -144,63 +192,101 @@ func (p *LFU) Name() string { return "lfu" }
 // OnAdmit implements Policy.
 func (p *LFU) OnAdmit(k kb.Key, _ int64) {
 	p.now++
-	if _, ok := p.freq[k]; !ok {
-		p.freq[k] = 1
+	if it, ok := p.items[k]; ok {
+		it.tick = p.now
+		heap.Fix(&p.heap, it.idx)
+		return
 	}
-	p.tick[k] = p.now
+	it := &lfuItem{key: k, freq: 1, tick: p.now}
+	p.items[k] = it
+	heap.Push(&p.heap, it)
 }
 
 // OnAccess implements Policy.
 func (p *LFU) OnAccess(k kb.Key) {
 	p.now++
-	if _, ok := p.freq[k]; ok {
-		p.freq[k]++
-		p.tick[k] = p.now
+	if it, ok := p.items[k]; ok {
+		it.freq++
+		it.tick = p.now
+		heap.Fix(&p.heap, it.idx)
 	}
 }
 
 // OnRemove implements Policy.
 func (p *LFU) OnRemove(k kb.Key) {
-	delete(p.freq, k)
-	delete(p.tick, k)
+	if it, ok := p.items[k]; ok {
+		heap.Remove(&p.heap, it.idx)
+		delete(p.items, k)
+	}
 }
 
 // Victim implements Policy.
 func (p *LFU) Victim() (kb.Key, bool) {
-	var best kb.Key
-	bestFreq := -1
-	var bestTick uint64
-	for k, f := range p.freq {
-		if bestFreq == -1 || f < bestFreq || (f == bestFreq && p.tick[k] < bestTick) {
-			best, bestFreq, bestTick = k, f, p.tick[k]
-		}
-	}
-	if bestFreq == -1 {
+	if len(p.heap) == 0 {
 		return kb.Key{}, false
 	}
-	return best, true
+	return p.heap[0].key, true
 }
+
+// Len implements Policy.
+func (p *LFU) Len() int { return len(p.items) }
 
 // GDSF is Greedy-Dual-Size-Frequency: priority = clock + frequency/size,
 // favoring small, popular entries; the aging clock prevents stale popular
 // entries from living forever. Size is measured in KiB so frequency and
-// size terms stay comparable for model-scale objects.
+// size terms stay comparable for model-scale objects. Entries live in an
+// indexed min-heap ordered by (priority, key string): the key tie-break
+// makes the order total, so the heap minimum matches what a full scan
+// would pick (proven against a scan reference by the property harness).
 type GDSF struct {
-	prio  map[kb.Key]float64
-	freq  map[kb.Key]int
-	size  map[kb.Key]int64
+	items map[kb.Key]*gdsfItem
+	heap  gdsfHeap
 	clock float64
+}
+
+// gdsfItem is one heap-resident entry. keyStr caches key.String() so heap
+// comparisons never re-render keys.
+type gdsfItem struct {
+	key    kb.Key
+	keyStr string
+	prio   float64
+	freq   int
+	size   int64
+	idx    int
+}
+
+// gdsfHeap implements container/heap ordered by (prio, keyStr) ascending.
+type gdsfHeap []*gdsfItem
+
+func (h gdsfHeap) Len() int { return len(h) }
+func (h gdsfHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].keyStr < h[j].keyStr
+}
+func (h gdsfHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *gdsfHeap) Push(x any) {
+	it := x.(*gdsfItem)
+	it.idx = len(*h)
+	*h = append(*h, it)
+}
+func (h *gdsfHeap) Pop() any {
+	old := *h
+	it := old[len(old)-1]
+	old[len(old)-1] = nil
+	*h = old[:len(old)-1]
+	return it
 }
 
 var _ Policy = (*GDSF)(nil)
 
 // NewGDSF returns an empty GDSF policy.
 func NewGDSF() *GDSF {
-	return &GDSF{
-		prio: make(map[kb.Key]float64, 16),
-		freq: make(map[kb.Key]int, 16),
-		size: make(map[kb.Key]int64, 16),
-	}
+	return &GDSF{items: make(map[kb.Key]*gdsfItem, 16)}
 }
 
 // Name implements Policy.
@@ -217,44 +303,52 @@ func sizeKiB(size int64) float64 {
 
 // OnAdmit implements Policy.
 func (p *GDSF) OnAdmit(k kb.Key, size int64) {
-	if _, ok := p.freq[k]; !ok {
-		p.freq[k] = 1
-		p.size[k] = size
+	it, ok := p.items[k]
+	if !ok {
+		it = &gdsfItem{key: k, keyStr: k.String(), freq: 1, size: size}
+		p.items[k] = it
+		it.prio = p.clock + float64(it.freq)/sizeKiB(it.size)
+		heap.Push(&p.heap, it)
+		return
 	}
-	p.prio[k] = p.clock + float64(p.freq[k])/sizeKiB(p.size[k])
+	it.prio = p.clock + float64(it.freq)/sizeKiB(it.size)
+	heap.Fix(&p.heap, it.idx)
 }
 
 // OnAccess implements Policy.
 func (p *GDSF) OnAccess(k kb.Key) {
-	if _, ok := p.freq[k]; !ok {
+	it, ok := p.items[k]
+	if !ok {
 		return
 	}
-	p.freq[k]++
-	p.prio[k] = p.clock + float64(p.freq[k])/sizeKiB(p.size[k])
+	it.freq++
+	it.prio = p.clock + float64(it.freq)/sizeKiB(it.size)
+	heap.Fix(&p.heap, it.idx)
 }
 
 // OnRemove implements Policy.
 func (p *GDSF) OnRemove(k kb.Key) {
-	if pr, ok := p.prio[k]; ok && pr > p.clock {
-		p.clock = pr // age the clock to the evicted priority
+	it, ok := p.items[k]
+	if !ok {
+		return
 	}
-	delete(p.prio, k)
-	delete(p.freq, k)
-	delete(p.size, k)
+	if it.prio > p.clock {
+		p.clock = it.prio // age the clock to the evicted priority
+	}
+	heap.Remove(&p.heap, it.idx)
+	delete(p.items, k)
 }
 
 // Victim implements Policy.
 func (p *GDSF) Victim() (kb.Key, bool) {
-	var best kb.Key
-	bestPrio := -1.0
-	found := false
-	for k, pr := range p.prio {
-		if !found || pr < bestPrio || (pr == bestPrio && k.String() < best.String()) {
-			best, bestPrio, found = k, pr, true
-		}
+	if len(p.heap) == 0 {
+		return kb.Key{}, false
 	}
-	return best, found
+	return p.heap[0].key, true
 }
+
+// Len implements Policy.
+func (p *GDSF) Len() int { return len(p.items) }
 
 // NewPolicy builds a policy by name ("lru", "fifo", "lfu", "gdsf",
 // "clock"), returning false for unknown names.

@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over node indices: every node owns a
+// fixed number of virtual points placed by a seeded hash, and a user maps
+// to the first point clockwise from their own hash. Identically-configured
+// clusters therefore route identically, and adding or removing one node
+// reassigns only the users whose arcs it owned — the property that keeps
+// cache warmth intact as a deployment scales.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+// ringPoint is one virtual node.
+type ringPoint struct {
+	hash uint64
+	node int
+}
+
+// hash64 is FNV-1a over s with a murmur-style finalizer. The finalizer
+// matters: plain FNV over short sequential names ("u001", "u002", ...)
+// yields near-sequential hashes that all land on one arc of the ring; the
+// avalanche spreads them uniformly.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// newRing places replicas virtual points per node, seeded by seed.
+func newRing(nodes, replicas int, seed uint64) *ring {
+	r := &ring{points: make([]ringPoint, 0, nodes*replicas)}
+	for n := 0; n < nodes; n++ {
+		for v := 0; v < replicas; v++ {
+			h := hash64(fmt.Sprintf("%x/node-%d/%d", seed, n, v))
+			r.points = append(r.points, ringPoint{hash: h, node: n})
+		}
+	}
+	// Ties break by node index so the order is total and deterministic.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// node returns the owning node index for key.
+func (r *ring) node(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the ring is circular
+	}
+	return r.points[i].node
+}

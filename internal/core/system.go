@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/channel"
+	"repro/internal/cluster"
 	"repro/internal/corpus"
 	"repro/internal/edge"
 	"repro/internal/fl"
@@ -59,9 +60,17 @@ type Config struct {
 	// Codec sets codec hyper-parameters for all general models.
 	Codec semantic.Config
 
+	// Nodes selects cluster mode when > 1: the sender side becomes a
+	// multi-node edge cluster (internal/cluster) routing each user to a
+	// node by consistent hashing, with mobility-driven handover and
+	// cooperative caching between nodes. 0 or 1 keeps the classic
+	// single-sender two-edge deployment.
+	Nodes int
+
 	// SenderCacheBytes / ReceiverCacheBytes size the edge model caches;
 	// 0 sizes each cache to hold every general model plus eight
-	// individual models.
+	// individual models. In cluster mode every node's cache gets
+	// SenderCacheBytes.
 	SenderCacheBytes   int64
 	ReceiverCacheBytes int64
 	// Policy names the cache eviction policy ("lru", "fifo", "lfu",
@@ -193,7 +202,9 @@ func newModulation(name string) (channel.Modulation, error) {
 	}
 }
 
-// System is a running two-edge semantic communication deployment.
+// System is a running semantic communication deployment: a single sender
+// edge and a receiver edge in the classic two-edge configuration, or N
+// sender nodes behind Cluster in cluster mode.
 type System struct {
 	cfg Config
 
@@ -202,6 +213,10 @@ type System struct {
 	Sender   *edge.Server
 	Receiver *edge.Server
 	Generals []*semantic.Codec
+
+	// Cluster is the sender-side node cluster in cluster mode (Config
+	//.Nodes > 1), nil otherwise. Sender then aliases node 0's edge.
+	Cluster *cluster.Cluster
 
 	nb         *selection.NaiveBayes
 	selFactory func() selection.Selector
@@ -361,9 +376,29 @@ func NewSystem(cfg Config) (*System, error) {
 			BufferThreshold: cfg.BufferThreshold,
 		}, cloud)
 	}
-	sender, err := mkEdge("edge-sender", cfg.SenderCacheBytes)
-	if err != nil {
-		return nil, err
+	var sender *edge.Server
+	var nodeCluster *cluster.Cluster
+	if cfg.Nodes > 1 {
+		nodeCluster, err = cluster.New(cluster.Config{
+			Nodes:           cfg.Nodes,
+			CacheBytes:      cfg.SenderCacheBytes,
+			Policy:          cfg.Policy,
+			Uplink:          cfg.CloudLink,
+			Mesh:            cfg.EdgeLink,
+			ComputePerToken: cfg.ComputePerToken,
+			PinGeneral:      cfg.PinGeneral,
+			BufferThreshold: cfg.BufferThreshold,
+			Seed:            cfg.Seed,
+		}, cloud)
+		if err != nil {
+			return nil, err
+		}
+		sender = nodeCluster.Node(0).Edge()
+	} else {
+		sender, err = mkEdge("edge-sender", cfg.SenderCacheBytes)
+		if err != nil {
+			return nil, err
+		}
 	}
 	receiver, err := mkEdge("edge-receiver", cfg.ReceiverCacheBytes)
 	if err != nil {
@@ -394,6 +429,7 @@ func NewSystem(cfg Config) (*System, error) {
 		Sender:       sender,
 		Receiver:     receiver,
 		Generals:     generals,
+		Cluster:      nodeCluster,
 		link:         link,
 		symbolRateHz: cfg.SymbolRateHz,
 		edgeLink:     cfg.EdgeLink,
@@ -469,6 +505,28 @@ type Result struct {
 	UpdateBytes int
 }
 
+// senderFor returns the sender edge serving user: the routed cluster node
+// in cluster mode, the single sender otherwise.
+func (s *System) senderFor(user string) *edge.Server {
+	if s.Cluster != nil {
+		return s.Cluster.Route(user).Edge()
+	}
+	return s.Sender
+}
+
+// MoveUser attaches user to cell (cluster mode only), executing a
+// handover when the serving node changes. It serializes against the
+// user's own transmissions, so a model never migrates mid-transmit.
+func (s *System) MoveUser(user string, cell int) (cluster.HandoverResult, error) {
+	if s.Cluster == nil {
+		return cluster.HandoverResult{}, errors.New("core: MoveUser requires cluster mode (Config.Nodes > 1)")
+	}
+	st := s.userState(user)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return s.Cluster.Move(user, cell)
+}
+
 // Transmit runs one message through the full pipeline. Transmissions for
 // different users run concurrently; same-user calls serialize.
 func (s *System) Transmit(req trace.Request) (*Result, error) {
@@ -521,9 +579,10 @@ func (s *System) TransmitText(user string, words []string) (*Result, error) {
 // It returns the partially scored result and the decoded concepts.
 func (s *System) transmitSelected(user string, words []string, selected int, sel selection.Selector) (*Result, []int, error) {
 	domain := s.Corpus.Domains[selected].Name
+	sender := s.senderFor(user)
 
 	// Step 2: sender-side semantic encoding.
-	enc, err := s.Sender.Encode(domain, user, words)
+	enc, err := sender.Encode(domain, user, words)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -543,7 +602,7 @@ func (s *System) transmitSelected(user string, words []string, selected int, sel
 	}
 
 	// Step 5: sender-side mismatch via decoder copy, buffered.
-	tx, ready, err := s.Sender.RecordTransaction(domain, user, words)
+	tx, ready, err := sender.RecordTransaction(domain, user, words)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -593,10 +652,11 @@ func (s *System) scoreResult(res *Result, decoded []int) {
 	}
 }
 
-// ProcessUpdate runs the update process for (domain, user) and ships the
-// decoder update across the edge link, returning the payload size.
+// ProcessUpdate runs the update process for (domain, user) on the user's
+// serving edge and ships the decoder update across the edge link,
+// returning the payload size.
 func (s *System) ProcessUpdate(domain, user string) (int, error) {
-	upd, err := s.Sender.RunUpdate(domain, user, fl.UpdateConfig{
+	upd, err := s.senderFor(user).RunUpdate(domain, user, fl.UpdateConfig{
 		Epochs:   s.cfg.UpdateEpochs,
 		Compress: s.cfg.Compress,
 		Seed:     s.cfg.Seed ^ 0xfade,
@@ -623,10 +683,21 @@ func (s *System) SyncCount() int { return int(s.syncCount.Load()) }
 // all shipped decoder updates.
 func (s *System) SyncLatency() time.Duration { return time.Duration(s.syncLatency.Load()) }
 
-// RunWorkload transmits every request in w, returning per-message results.
+// RunWorkload transmits every request in w, returning per-message
+// results. In cluster mode the workload's mobility events apply in
+// sequence order: each Move relocates its user (triggering a handover)
+// before the request at the same Seq is served.
 func (s *System) RunWorkload(w *trace.Workload) ([]Result, error) {
 	out := make([]Result, 0, len(w.Requests))
+	next := 0 // next unapplied mobility event
 	for _, req := range w.Requests {
+		for s.Cluster != nil && next < len(w.Moves) && w.Moves[next].Seq <= req.Seq {
+			mv := w.Moves[next]
+			if _, err := s.MoveUser(mv.User, mv.Cell); err != nil {
+				return out, fmt.Errorf("core: move %d (%s -> cell %d): %w", mv.Seq, mv.User, mv.Cell, err)
+			}
+			next++
+		}
 		res, err := s.Transmit(req)
 		if err != nil {
 			return out, fmt.Errorf("core: request %d: %w", req.Seq, err)

@@ -36,14 +36,57 @@ type Config struct {
 	// BufferThreshold is the per-user domain-buffer size that triggers an
 	// individual-model update; 0 selects 32.
 	BufferThreshold int
+	// Fetcher resolves local cache misses; nil selects the origin fetcher
+	// (cloud registry over Uplink). A cluster installs a cooperative
+	// fetcher here that probes neighbor caches before paying the origin.
+	Fetcher Fetcher
+}
+
+// Fetch is the outcome of resolving a model that missed the local cache.
+type Fetch struct {
+	// Model is the fetched model.
+	Model *kb.Model
+	// Latency is the simulated transfer time paid for the fetch.
+	Latency time.Duration
+	// Remote reports the model came from a peer edge cache rather than
+	// the cloud origin (cooperative caching).
+	Remote bool
+}
+
+// Fetcher resolves cache misses for general models.
+type Fetcher interface {
+	FetchModel(k kb.Key) (Fetch, error)
+}
+
+// originFetcher is the default Fetcher: straight to the cloud origin over
+// the uplink.
+type originFetcher struct {
+	origin *kb.Registry
+	uplink netsim.Link
+}
+
+// NewOriginFetcher returns the default miss resolver — straight to the
+// cloud origin over uplink. Composite fetchers (e.g. the cluster's
+// cooperative fetcher) delegate to it as their fallback so origin-fetch
+// semantics live in one place.
+func NewOriginFetcher(origin *kb.Registry, uplink netsim.Link) Fetcher {
+	return originFetcher{origin: origin, uplink: uplink}
+}
+
+// FetchModel implements Fetcher.
+func (f originFetcher) FetchModel(k kb.Key) (Fetch, error) {
+	m, ok := f.origin.Get(k)
+	if !ok {
+		return Fetch{}, fmt.Errorf("origin has no model %s", k)
+	}
+	return Fetch{Model: m, Latency: f.uplink.TransferTime(m.SizeBytes())}, nil
 }
 
 // Server is one semantic edge server. It is safe for concurrent use.
 type Server struct {
 	name            string
 	cache           *cache.Cache
-	origin          *kb.Registry
-	uplink          netsim.Link
+	fetcher         Fetcher
 	computePerToken time.Duration
 	pinGeneral      bool
 	bufferThreshold int
@@ -67,6 +110,9 @@ func New(cfg Config, origin *kb.Registry) (*Server, error) {
 	if cfg.BufferThreshold == 0 {
 		cfg.BufferThreshold = 32
 	}
+	if cfg.Fetcher == nil {
+		cfg.Fetcher = originFetcher{origin: origin, uplink: cfg.Uplink}
+	}
 	c, err := cache.New(cfg.CacheCapacity, cfg.Policy)
 	if err != nil {
 		return nil, fmt.Errorf("edge %s: %w", cfg.Name, err)
@@ -74,8 +120,7 @@ func New(cfg Config, origin *kb.Registry) (*Server, error) {
 	return &Server{
 		name:            cfg.Name,
 		cache:           c,
-		origin:          origin,
-		uplink:          cfg.Uplink,
+		fetcher:         cfg.Fetcher,
 		computePerToken: cfg.ComputePerToken,
 		pinGeneral:      cfg.PinGeneral,
 		bufferThreshold: cfg.BufferThreshold,
@@ -107,6 +152,9 @@ type AcquireResult struct {
 	FetchLatency time.Duration
 	// CacheHit reports whether the model came from the local cache.
 	CacheHit bool
+	// Remote reports a miss served from a peer edge cache (cooperative
+	// caching) rather than the cloud origin.
+	Remote bool
 	// Individual reports whether a user-specific model was used.
 	Individual bool
 }
@@ -125,15 +173,14 @@ func (s *Server) AcquireCodec(domain, user string) (AcquireResult, error) {
 	if m, ok := s.cache.Get(genKey); ok {
 		return AcquireResult{Model: m, CacheHit: true}, nil
 	}
-	m, ok := s.origin.Get(genKey)
-	if !ok {
-		return AcquireResult{}, fmt.Errorf("edge %s: origin has no model %s", s.name, genKey)
+	f, err := s.fetcher.FetchModel(genKey)
+	if err != nil {
+		return AcquireResult{}, fmt.Errorf("edge %s: %w", s.name, err)
 	}
-	latency := s.uplink.TransferTime(m.SizeBytes())
-	if err := s.cache.Put(m, s.pinGeneral); err != nil {
+	if err := s.cache.Put(f.Model, s.pinGeneral); err != nil {
 		return AcquireResult{}, fmt.Errorf("edge %s: cache %s: %w", s.name, genKey, err)
 	}
-	return AcquireResult{Model: m, FetchLatency: latency}, nil
+	return AcquireResult{Model: f.Model, FetchLatency: f.Latency, Remote: f.Remote}, nil
 }
 
 // Personalize creates the user's individual codec as a clone of the

@@ -2,10 +2,18 @@ package edge
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"sort"
 
+	"repro/internal/kb"
 	"repro/internal/nn"
 )
+
+// ErrNoIndividual reports that the user has no individual model cached on
+// this server (never personalized here, or the unpinned entry was
+// evicted). Handover treats it as "nothing to migrate".
+var ErrNoIndividual = errors.New("edge: no individual model")
 
 // This file implements individual-model handover: when a user moves
 // between edge servers (the mobility scenario of 6G deployments), the
@@ -28,6 +36,29 @@ func (m *ExportedModel) SizeBytes() int64 {
 	return int64(len(m.Params) + len(m.Domain) + len(m.User) + 8)
 }
 
+// UserDomains returns the domains for which this server currently caches
+// an individual model for user, in deterministic (sorted) order: the set
+// of models a handover must migrate. Only the user's own handful of keys
+// is sorted, never the full cache.
+func (s *Server) UserDomains(user string) []string {
+	keys := s.cache.KeysWhere(func(k kb.Key) bool {
+		return k.User == user && k.Role == kb.RoleCodec
+	})
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = k.Domain
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DropUserModel removes the user's individual model for domain from the
+// local cache — the source side of a completed handover — reporting
+// whether it was present.
+func (s *Server) DropUserModel(domain, user string) bool {
+	return s.cache.Remove(kb.UserKey(domain, user, kb.RoleCodec))
+}
+
 // ExportUserModel serializes the user's individual model for migration to
 // a peer edge. It fails if the user has no individual model here.
 func (s *Server) ExportUserModel(domain, user string) (*ExportedModel, error) {
@@ -36,7 +67,7 @@ func (s *Server) ExportUserModel(domain, user string) (*ExportedModel, error) {
 		return nil, err
 	}
 	if !acq.Individual {
-		return nil, fmt.Errorf("edge %s: no individual model for %s/%s", s.name, user, domain)
+		return nil, fmt.Errorf("edge %s: %w for %s/%s", s.name, ErrNoIndividual, user, domain)
 	}
 	var buf bytes.Buffer
 	if _, err := acq.Model.Codec.Params().WriteTo(&buf); err != nil {

@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/kb"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/trace"
+)
+
+// E11Options parameterizes the cluster-scale caching/handover trade-off
+// sweep: cache policy x node count x mobility rate.
+type E11Options struct {
+	// Policies to compare (default lru, gdsf).
+	Policies []string
+	// NodeCounts to sweep (default 2, 4).
+	NodeCounts []int
+	// MobilityRates to sweep, per-request move probability (default 0,
+	// 0.02, 0.10).
+	MobilityRates []float64
+	// Users and Requests size the workload (defaults 24 and 4000).
+	Users    int
+	Requests int
+	// CapacityModels is the per-node cache size in model-equivalents
+	// (default 3: small enough that eviction pressure is constant).
+	CapacityModels int
+	// Seed drives the workload and ring placement (default 1).
+	Seed uint64
+}
+
+func (o E11Options) withDefaults() E11Options {
+	if len(o.Policies) == 0 {
+		o.Policies = []string{"lru", "gdsf"}
+	}
+	if len(o.NodeCounts) == 0 {
+		o.NodeCounts = []int{2, 4}
+	}
+	if len(o.MobilityRates) == 0 {
+		o.MobilityRates = []float64{0, 0.02, 0.10}
+	}
+	if o.Users == 0 {
+		o.Users = 24
+	}
+	if o.Requests == 0 {
+		o.Requests = 4000
+	}
+	if o.CapacityModels == 0 {
+		o.CapacityModels = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// E11Cell is one (policy, nodes, mobility) measurement.
+type E11Cell struct {
+	Policy       string
+	Nodes        int
+	MobilityRate float64
+	// LocalHitRate aggregates node-local cache hits over all accesses.
+	LocalHitRate float64
+	// NeighborShare is the fraction of misses resolved from a neighbor
+	// cache instead of the cloud origin.
+	NeighborShare float64
+	// Handovers and MigratedKB count mobility-driven model migrations.
+	Handovers  int64
+	MigratedKB float64
+	// MeanFetchMs is the mean simulated miss-path latency per request.
+	MeanFetchMs float64
+}
+
+// E11Result is the full grid.
+type E11Result struct {
+	Cells []E11Cell
+}
+
+// RunE11 replays a mobile workload against a model-serving cluster for
+// every (policy, node count, mobility rate) combination: users roam
+// between cells (handover migrates their personalized models) while nodes
+// resolve cache misses cooperatively before paying the origin fetch. It
+// reproduces the paper's caching/handover trade-off at cluster scale:
+// mobility converts local hits into mesh traffic and migrations, and the
+// eviction policy decides how much of the working set survives.
+func RunE11(env *Env, opts E11Options) (*E11Result, error) {
+	opts = opts.withDefaults()
+	// Shared read-only cloud registry of general models.
+	cloud := kb.NewRegistry()
+	var modelBytes int64
+	for i, d := range env.Corpus.Domains {
+		m := &kb.Model{Key: kb.GeneralKey(d.Name, kb.RoleCodec), Version: 1, Codec: env.Generals[i]}
+		cloud.Put(m)
+		if s := m.SizeBytes(); s > modelBytes {
+			modelBytes = s
+		}
+	}
+
+	type combo struct {
+		policy string
+		nodes  int
+		rate   float64
+	}
+	combos := make([]combo, 0, len(opts.Policies)*len(opts.NodeCounts)*len(opts.MobilityRates))
+	for _, p := range opts.Policies {
+		for _, n := range opts.NodeCounts {
+			for _, r := range opts.MobilityRates {
+				combos = append(combos, combo{p, n, r})
+			}
+		}
+	}
+
+	res := &E11Result{Cells: make([]E11Cell, len(combos))}
+	err := forEachTrial(len(combos), func(ci int) error {
+		cb := combos[ci]
+		// Cells map 1:1 onto nodes; the workload's cell indices wrap.
+		w := trace.Generate(env.Corpus, trace.Config{
+			Users: opts.Users, Messages: opts.Requests,
+			Cells: cb.nodes, MobilityRate: cb.rate,
+			MeanRunLength: 8, Seed: opts.Seed,
+		})
+		c, err := cluster.New(cluster.Config{
+			Nodes:      cb.nodes,
+			CacheBytes: modelBytes * int64(opts.CapacityModels),
+			Policy:     cb.policy,
+			Uplink:     netsim.Link{Latency: 40 * time.Millisecond, BandwidthBps: 200e6},
+			Mesh:       netsim.Link{Latency: 5 * time.Millisecond, BandwidthBps: 400e6},
+			Seed:       opts.Seed,
+		}, cloud)
+		if err != nil {
+			return err
+		}
+		personalized := make(map[string]bool, opts.Users*2)
+		var totalFetch time.Duration
+		next := 0
+		for _, req := range w.Requests {
+			for next < len(w.Moves) && w.Moves[next].Seq <= req.Seq {
+				if _, err := c.Move(w.Moves[next].User, w.Moves[next].Cell); err != nil {
+					return err
+				}
+				next++
+			}
+			node := c.Route(req.User)
+			// First touch of a (user, domain) pair personalizes there, so
+			// mobility has individual models to migrate.
+			pk := req.User + "/" + req.Msg.DomainName
+			if !personalized[pk] {
+				personalized[pk] = true
+				_, lat, err := node.Edge().Personalize(req.Msg.DomainName, req.User)
+				if err != nil {
+					return err
+				}
+				totalFetch += lat
+			}
+			acq, err := node.Edge().AcquireCodec(req.Msg.DomainName, req.User)
+			if err != nil {
+				return err
+			}
+			totalFetch += acq.FetchLatency
+		}
+		st := c.Stats()
+		var hits, misses uint64
+		var neighbor, origin int64
+		for _, n := range st.Nodes {
+			hits += n.Cache.Hits
+			misses += n.Cache.Misses
+			neighbor += n.NeighborHits
+			origin += n.OriginFetches
+		}
+		cell := E11Cell{
+			Policy:       cb.policy,
+			Nodes:        cb.nodes,
+			MobilityRate: cb.rate,
+			Handovers:    st.Handovers,
+			MigratedKB:   float64(st.MigratedBytes) / 1024,
+			MeanFetchMs:  float64(totalFetch.Milliseconds()) / float64(len(w.Requests)),
+		}
+		if total := hits + misses; total > 0 {
+			cell.LocalHitRate = float64(hits) / float64(total)
+		}
+		if total := neighbor + origin; total > 0 {
+			cell.NeighborShare = float64(neighbor) / float64(total)
+		}
+		res.Cells[ci] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// TableG renders the sweep: one row per combination.
+func (r *E11Result) TableG() *metrics.Table {
+	t := metrics.NewTable("Table G: cluster caching/handover trade-off (policy x nodes x mobility)",
+		"policy", "nodes", "mobility", "local_hit", "neighbor_share", "handovers", "migrated_kb", "fetch_ms")
+	for _, c := range r.Cells {
+		t.AddRow(c.Policy, fmt.Sprintf("%d", c.Nodes), metrics.F(c.MobilityRate, 2),
+			metrics.F(c.LocalHitRate, 3), metrics.F(c.NeighborShare, 3),
+			fmt.Sprintf("%d", c.Handovers), metrics.F(c.MigratedKB, 1), metrics.F(c.MeanFetchMs, 2))
+	}
+	return t
+}

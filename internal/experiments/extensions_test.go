@@ -94,3 +94,62 @@ func TestErasureAblationShapes(t *testing.T) {
 		t.Fatal("expected 3 ablation tables")
 	}
 }
+
+func TestE11Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster sweep is slow; run without -short")
+	}
+	env := Environment()
+	opts := E11Options{
+		Policies:      []string{"lru", "gdsf"},
+		NodeCounts:    []int{2, 3},
+		MobilityRates: []float64{0, 0.1},
+		Users:         12,
+		Requests:      1200,
+	}
+	res, err := RunE11(env, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 8 {
+		t.Fatalf("cells = %d, want 8", len(res.Cells))
+	}
+	cell := func(p string, n int, r float64) E11Cell {
+		for _, c := range res.Cells {
+			if c.Policy == p && c.Nodes == n && c.MobilityRate == r {
+				return c
+			}
+		}
+		t.Fatalf("missing cell %s/%d/%v", p, n, r)
+		return E11Cell{}
+	}
+	for _, p := range opts.Policies {
+		static := cell(p, 2, 0)
+		mobile := cell(p, 2, 0.1)
+		if static.Handovers != 0 || static.MigratedKB != 0 {
+			t.Fatalf("%s: static population reported handovers: %+v", p, static)
+		}
+		if mobile.Handovers == 0 || mobile.MigratedKB <= 0 {
+			t.Fatalf("%s: mobile population reported no handovers: %+v", p, mobile)
+		}
+		if mobile.NeighborShare <= 0 {
+			t.Fatalf("%s: cluster never fetched cooperatively: %+v", p, mobile)
+		}
+		if static.LocalHitRate <= 0 || mobile.LocalHitRate <= 0 {
+			t.Fatalf("%s: hit rates missing", p)
+		}
+	}
+	// Determinism: the sweep must reproduce bit-identically.
+	res2, err := RunE11(env, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Cells {
+		if res.Cells[i] != res2.Cells[i] {
+			t.Fatalf("cell %d not deterministic: %+v != %+v", i, res.Cells[i], res2.Cells[i])
+		}
+	}
+	if res.TableG().NumRows() != 8 {
+		t.Fatal("table shape wrong")
+	}
+}

@@ -156,17 +156,29 @@ func ReadDense(r io.Reader) (*Dense, error) {
 	cols := int(binary.LittleEndian.Uint32(hdr[8:]))
 	// The element-count bound is checked in uint64: on 32-bit platforms
 	// rows*cols computed in int can overflow and wrap to a small positive
-	// value, bypassing the limit before allocation.
-	if rows <= 0 || cols <= 0 || uint64(rows)*uint64(cols) > 1<<28 {
+	// value, bypassing the limit before allocation. 1<<20 elements (8 MiB)
+	// is orders of magnitude above any real model tensor while keeping the
+	// worst-case allocation a forged header can demand modest.
+	if rows <= 0 || cols <= 0 || uint64(rows)*uint64(cols) > 1<<20 {
 		return nil, errBadMatrix
 	}
 	m := NewDense(rows, cols)
-	buf := make([]byte, 8*len(m.Data))
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, fmt.Errorf("mat: read data: %w", err)
-	}
-	for i := range m.Data {
-		m.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	// Decode in bounded chunks: a forged header over a short stream then
+	// fails at the first missing chunk without a matching giant byte
+	// buffer having been allocated up front.
+	buf := make([]byte, 8*1024)
+	for i := 0; i < len(m.Data); {
+		n := len(m.Data) - i
+		if n > len(buf)/8 {
+			n = len(buf) / 8
+		}
+		if _, err := io.ReadFull(r, buf[:8*n]); err != nil {
+			return nil, fmt.Errorf("mat: read data: %w", err)
+		}
+		for j := 0; j < n; j++ {
+			m.Data[i+j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[j*8:]))
+		}
+		i += n
 	}
 	return m, nil
 }

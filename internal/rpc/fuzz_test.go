@@ -1,0 +1,89 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+// frame wraps payload in the wire format (possibly with a lying header
+// when truncate is set) for seeding the fuzz corpus.
+func frame(payload []byte, lieLen uint32) []byte {
+	hdr := make([]byte, 4)
+	n := uint32(len(payload))
+	if lieLen != 0 {
+		n = lieLen
+	}
+	binary.LittleEndian.PutUint32(hdr, n)
+	return append(hdr, payload...)
+}
+
+// seedFrames is the shared corpus for both framed-message parsers: valid
+// messages, truncations, oversized and lying headers, and JSON garbage.
+func seedFrames(f *testing.F, valid interface{}) {
+	f.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, valid); err != nil {
+		f.Fatal(err)
+	}
+	full := buf.Bytes()
+	f.Add(full)
+	f.Add(full[:len(full)-2])                       // truncated payload
+	f.Add(full[:3])                                 // truncated header
+	f.Add([]byte{})                                 // empty stream
+	f.Add(frame([]byte(`{"op":`), 0))               // malformed JSON
+	f.Add(frame([]byte(`null`), 0))                 // null document
+	f.Add(frame([]byte(`{}`), 1<<30))               // lying oversize header
+	f.Add(frame(bytes.Repeat([]byte{0xff}, 64), 0)) // binary garbage
+}
+
+// FuzzReadRequest feeds arbitrary bytes to the request parser: it must
+// never panic, and every frame it accepts must re-frame losslessly.
+func FuzzReadRequest(f *testing.F) {
+	seedFrames(f, &Request{Op: OpTransmit, User: "u01", Text: "the server restarted", Cell: 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ReadRequest(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, req); err != nil {
+			t.Fatalf("accepted request %+v fails to serialize: %v", req, err)
+		}
+		again, err := ReadRequest(&buf)
+		if err != nil {
+			t.Fatalf("re-framed request fails to parse: %v", err)
+		}
+		if *again != *req {
+			t.Fatalf("request round-trip changed: %+v != %+v", again, req)
+		}
+	})
+}
+
+// FuzzReadResponse is the response-side twin of FuzzReadRequest.
+func FuzzReadResponse(f *testing.F) {
+	seedFrames(f, &Response{
+		OK: true, Restored: "the server restarted", SelectedDomain: "it",
+		Mismatch: 0.25, PayloadBytes: 96, LatencyMs: 41.5,
+		Handover: &Handover{From: "node-0", To: "node-1", Moved: true, Models: 1},
+		Stats:    &Stats{Messages: 7, Nodes: []NodeStats{{Name: "node-0", Users: 3}}},
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := ReadResponse(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, resp); err != nil {
+			t.Fatalf("accepted response fails to serialize: %v", err)
+		}
+		again, err := ReadResponse(&buf)
+		if err != nil {
+			t.Fatalf("re-framed response fails to parse: %v", err)
+		}
+		if !reflect.DeepEqual(again, resp) {
+			t.Fatalf("response round-trip changed: %+v != %+v", again, resp)
+		}
+	})
+}

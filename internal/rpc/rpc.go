@@ -19,6 +19,9 @@ const MaxMessageBytes = 1 << 20
 const (
 	// OpTransmit runs one message through the semantic pipeline.
 	OpTransmit = "transmit"
+	// OpMove attaches a user to a radio cell (cluster mode), triggering a
+	// handover when the serving node changes.
+	OpMove = "move"
 	// OpStats returns system counters.
 	OpStats = "stats"
 	// OpPing checks liveness.
@@ -30,6 +33,8 @@ type Request struct {
 	Op   string `json:"op"`
 	User string `json:"user,omitempty"`
 	Text string `json:"text,omitempty"`
+	// Cell is the target radio cell for OpMove.
+	Cell int `json:"cell,omitempty"`
 }
 
 // Response is a daemon-to-client message.
@@ -49,8 +54,25 @@ type Response struct {
 	Individual     bool    `json:"individual_model,omitempty"`
 	UpdateFired    bool    `json:"update_fired,omitempty"`
 
+	// Move results.
+	Handover *Handover `json:"handover,omitempty"`
+
 	// Stats results.
 	Stats *Stats `json:"stats,omitempty"`
+}
+
+// Handover reports one OpMove outcome.
+type Handover struct {
+	// From and To name the old and new serving nodes.
+	From string `json:"from"`
+	To   string `json:"to"`
+	// Moved is false when the user was already served by the target node.
+	Moved bool `json:"moved"`
+	// Models and MigratedBytes count the individual models shipped over
+	// the mesh; LatencyMs is the simulated migration transfer time.
+	Models        int     `json:"models"`
+	MigratedBytes int64   `json:"migrated_bytes"`
+	LatencyMs     float64 `json:"latency_ms"`
 }
 
 // Stats reports daemon counters.
@@ -69,6 +91,25 @@ type Stats struct {
 	LatencyP50Ms float64 `json:"latency_p50_ms"`
 	LatencyP95Ms float64 `json:"latency_p95_ms"`
 	LatencyP99Ms float64 `json:"latency_p99_ms"`
+
+	// Cluster-mode counters (absent in single-sender mode).
+	Nodes         []NodeStats `json:"nodes,omitempty"`
+	Handovers     int64       `json:"handovers,omitempty"`
+	MigratedBytes int64       `json:"migrated_bytes,omitempty"`
+}
+
+// NodeStats reports one cluster node's counters.
+type NodeStats struct {
+	Name           string  `json:"name"`
+	Users          int     `json:"users"`
+	HitRate        float64 `json:"hit_rate"`
+	CachedModels   int     `json:"cached_models"`
+	CacheUsedBytes int64   `json:"cache_used_bytes"`
+	HandoversIn    int64   `json:"handovers_in"`
+	HandoversOut   int64   `json:"handovers_out"`
+	NeighborHits   int64   `json:"neighbor_hits"`
+	NeighborServed int64   `json:"neighbor_served"`
+	OriginFetches  int64   `json:"origin_fetches"`
 }
 
 // errFrameTooLarge reports an oversized wire frame.

@@ -1,0 +1,54 @@
+package semantic
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// FuzzReadCodec feeds arbitrary bytes to the .kbm reader: it must never
+// panic or over-allocate (forged headers once drove NewCodec into
+// makeslice panics), and every stream it accepts must validate and
+// re-serialize stably.
+func FuzzReadCodec(f *testing.F) {
+	corp := corpus.Build()
+	codec := NewCodec(corp.Domains[0], Config{
+		EmbedDim: 6, FeatureDim: 3, HiddenDim: 8, Epochs: 1, Sentences: 50,
+	})
+	var buf bytes.Buffer
+	if _, err := codec.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:16])           // truncated after the header
+	f.Add(valid[:len(valid)/2]) // truncated mid-tensor
+	f.Add([]byte{})
+	f.Add([]byte("SKB1 but not really"))
+	// A forged header demanding ~4-billion-wide layers: the reader must
+	// reject it before allocating, not crash in NewCodec.
+	forged := append([]byte{}, valid[:12]...)
+	for i := 0; i < 5; i++ {
+		forged = binary.LittleEndian.AppendUint32(forged, 0xfffffff0)
+	}
+	f.Add(forged)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ReadCodec(bytes.NewReader(data), corp)
+		if err != nil {
+			return
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("reader accepted a codec that fails validation: %v", err)
+		}
+		var out bytes.Buffer
+		if _, err := c.WriteTo(&out); err != nil {
+			t.Fatalf("accepted codec fails to serialize: %v", err)
+		}
+		if _, err := ReadCodec(bytes.NewReader(out.Bytes()), corp); err != nil {
+			t.Fatalf("re-serialized codec fails to parse: %v", err)
+		}
+	})
+}

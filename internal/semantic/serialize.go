@@ -15,6 +15,15 @@ import (
 // knowledge base, version 1).
 const codecMagic = uint32(0x534b4231)
 
+// Deserialization bounds for untrusted .kbm input. A forged header with
+// multi-billion layer widths would otherwise drive NewCodec into
+// gigabyte-scale (or panicking) allocations before any shape check runs.
+// Real configs sit orders of magnitude below both limits.
+const (
+	maxCodecDim   = 1 << 10 // layer width (defaults are 8..24)
+	maxCodecCount = 1 << 20 // epochs / sentences (metadata only)
+)
+
 // errBadCodec reports a malformed serialized codec.
 var errBadCodec = errors.New("semantic: malformed serialized codec")
 
@@ -110,19 +119,34 @@ func ReadCodec(r io.Reader, corp *corpus.Corpus) (*Codec, error) {
 		return nil, fmt.Errorf("semantic: unknown domain %q in serialized codec", nameBuf)
 	}
 	var cfg Config
-	ints := []*int{&cfg.EmbedDim, &cfg.FeatureDim, &cfg.HiddenDim, &cfg.Epochs, &cfg.Sentences}
-	for _, dst := range ints {
+	for _, f := range []struct {
+		dst   *int
+		limit int
+	}{
+		{&cfg.EmbedDim, maxCodecDim},
+		{&cfg.FeatureDim, maxCodecDim},
+		{&cfg.HiddenDim, maxCodecDim},
+		{&cfg.Epochs, maxCodecCount},
+		{&cfg.Sentences, maxCodecCount},
+	} {
 		v, err := readU32()
 		if err != nil {
 			return nil, fmt.Errorf("semantic: read config: %w", err)
 		}
-		*dst = int(v)
+		if v == 0 || v > uint32(f.limit) {
+			return nil, errBadCodec
+		}
+		*f.dst = int(v)
 	}
 	if cfg.NoiseStd, err = readF64(); err != nil {
 		return nil, fmt.Errorf("semantic: read config: %w", err)
 	}
 	if cfg.LR, err = readF64(); err != nil {
 		return nil, fmt.Errorf("semantic: read config: %w", err)
+	}
+	if math.IsNaN(cfg.NoiseStd) || math.IsInf(cfg.NoiseStd, 0) ||
+		math.IsNaN(cfg.LR) || math.IsInf(cfg.LR, 0) {
+		return nil, errBadCodec
 	}
 	params, err := nn.ReadParamSet(r)
 	if err != nil {

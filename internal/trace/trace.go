@@ -17,8 +17,20 @@ type Request struct {
 	Seq int
 	// User is the sending user's name.
 	User string
+	// Cell is the radio cell the user sends from, or -1 when the user has
+	// never moved (they stay in their router-assigned home cell).
+	Cell int
 	// Msg is the generated message with ground-truth domain and concepts.
 	Msg corpus.Message
+}
+
+// Move is one mobility event: User attaches to Cell before the request at
+// Seq is served. A cluster maps cells onto nodes and executes a handover
+// for each Move that changes the serving node.
+type Move struct {
+	Seq  int
+	User string
+	Cell int
 }
 
 // Config parameterizes workload generation. Zero fields select defaults.
@@ -43,6 +55,12 @@ type Config struct {
 	// FuncProb overrides the function-word probability when > 0. Higher
 	// values dilute domain evidence per message.
 	FuncProb float64
+	// Cells is the number of radio cells users roam across. Mobility
+	// events are generated only when Cells > 1 and MobilityRate > 0.
+	Cells int
+	// MobilityRate is the per-request probability that the emitting user
+	// has moved to a new uniformly-drawn cell since their last message.
+	MobilityRate float64
 	// Seed drives all randomness (default 1).
 	Seed uint64
 }
@@ -71,6 +89,9 @@ func (cfg Config) withDefaults() Config {
 type Workload struct {
 	// Requests in emission order.
 	Requests []Request
+	// Moves holds the mobility events in Seq order (empty without
+	// mobility). A Move at Seq s applies before Requests[s] is served.
+	Moves []Move
 	// Users lists user names in creation order.
 	Users []string
 	// Idiolects maps user name to idiolect (nil entries mean generic
@@ -106,14 +127,21 @@ func Generate(corp *corpus.Corpus, cfg Config) *Workload {
 	}
 	domainZipf := mat.NewZipf(rng.Split(), len(corp.Domains), cfg.DomainZipfS)
 	idioRNG := rng.Split()
+	// Mobility draws come from an independently seeded stream (a Split
+	// would advance the root RNG), so enabling mobility never perturbs
+	// the message/domain streams and mobility-free workloads stay
+	// bit-identical to earlier versions.
+	mobility := cfg.Cells > 1 && cfg.MobilityRate > 0
+	mobRNG := mat.NewRNG(cfg.Seed ^ 0x6ce115)
 
 	w := &Workload{
 		Requests:  make([]Request, 0, cfg.Messages),
 		Users:     make([]string, 0, cfg.Users),
 		Idiolects: make(map[string]*corpus.Idiolect, cfg.Users),
 	}
-	// Per-user topic state.
+	// Per-user topic and cell state (-1: never moved, home cell).
 	current := make([]int, cfg.Users)
+	cells := make([]int, cfg.Users)
 	for u := 0; u < cfg.Users; u++ {
 		name := fmt.Sprintf("u%02d", u+1)
 		w.Users = append(w.Users, name)
@@ -123,6 +151,7 @@ func Generate(corp *corpus.Corpus, cfg Config) *Workload {
 			w.Idiolects[name] = nil
 		}
 		current[u] = domainZipf.Sample()
+		cells[u] = -1
 	}
 	switchProb := 1 / cfg.MeanRunLength
 	for i := 0; i < cfg.Messages; i++ {
@@ -131,8 +160,12 @@ func Generate(corp *corpus.Corpus, cfg Config) *Workload {
 			current[u] = domainZipf.Sample()
 		}
 		name := w.Users[u]
+		if mobility && mobRNG.Float64() < cfg.MobilityRate {
+			cells[u] = mobRNG.Intn(cfg.Cells)
+			w.Moves = append(w.Moves, Move{Seq: i, User: name, Cell: cells[u]})
+		}
 		msg := gen.Message(current[u], w.Idiolects[name])
-		w.Requests = append(w.Requests, Request{Seq: i, User: name, Msg: msg})
+		w.Requests = append(w.Requests, Request{Seq: i, User: name, Cell: cells[u], Msg: msg})
 	}
 	return w
 }

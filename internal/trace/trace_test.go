@@ -117,3 +117,63 @@ func TestNoIdiolectByDefault(t *testing.T) {
 		}
 	}
 }
+
+func TestMobilityEvents(t *testing.T) {
+	corp := corpus.Build()
+	cfg := Config{Users: 6, Messages: 2000, Cells: 4, MobilityRate: 0.05, Seed: 9}
+	w := Generate(corp, cfg)
+	if len(w.Moves) == 0 {
+		t.Fatal("mobility enabled but no moves generated")
+	}
+	// Roughly rate*messages moves, within a loose statistical band.
+	if len(w.Moves) < 40 || len(w.Moves) > 250 {
+		t.Fatalf("moves = %d, want about %d", len(w.Moves), int(0.05*2000))
+	}
+	lastSeq := -1
+	for _, mv := range w.Moves {
+		if mv.Cell < 0 || mv.Cell >= cfg.Cells {
+			t.Fatalf("move cell %d out of range [0,%d)", mv.Cell, cfg.Cells)
+		}
+		if mv.Seq < lastSeq || mv.Seq >= cfg.Messages {
+			t.Fatalf("move seq %d out of order or range", mv.Seq)
+		}
+		lastSeq = mv.Seq
+		if w.Requests[mv.Seq].User != mv.User {
+			t.Fatalf("move at seq %d names %s, request says %s", mv.Seq, mv.User, w.Requests[mv.Seq].User)
+		}
+		if w.Requests[mv.Seq].Cell != mv.Cell {
+			t.Fatalf("request %d cell %d, move says %d", mv.Seq, w.Requests[mv.Seq].Cell, mv.Cell)
+		}
+	}
+	// Determinism: an identical config yields an identical move stream.
+	w2 := Generate(corp, cfg)
+	if len(w2.Moves) != len(w.Moves) {
+		t.Fatal("mobility stream not deterministic")
+	}
+	for i := range w.Moves {
+		if w.Moves[i] != w2.Moves[i] {
+			t.Fatalf("move %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestMobilityDoesNotPerturbMessages(t *testing.T) {
+	// Enabling mobility must not change a single message, user pick or
+	// domain: the mobility stream draws from its own RNG split.
+	corp := corpus.Build()
+	base := Generate(corp, Config{Users: 5, Messages: 500, Seed: 13})
+	mob := Generate(corp, Config{Users: 5, Messages: 500, Seed: 13, Cells: 3, MobilityRate: 0.2})
+	if len(base.Moves) != 0 {
+		t.Fatal("mobility-free workload generated moves")
+	}
+	for i := range base.Requests {
+		if base.Requests[i].User != mob.Requests[i].User ||
+			base.Requests[i].Msg.DomainIndex != mob.Requests[i].Msg.DomainIndex ||
+			base.Requests[i].Msg.Text() != mob.Requests[i].Msg.Text() {
+			t.Fatalf("request %d differs once mobility is enabled", i)
+		}
+		if base.Requests[i].Cell != -1 {
+			t.Fatalf("request %d: home cell should be -1, got %d", i, base.Requests[i].Cell)
+		}
+	}
+}
