@@ -467,6 +467,91 @@ func BenchmarkBatchEncode(b *testing.B) {
 	})
 }
 
+// BenchmarkEncodeGEMM pits the historical per-vector codec path (one
+// MulVec-based encode and decode per token) against the batched GEMM path
+// (all tokens of a message packed into one matrix, one fused GEMM per
+// layer, zero steady-state allocations) on the same 1024-token stream.
+// Outputs are bit-identical; only the schedule differs.
+func BenchmarkEncodeGEMM(b *testing.B) {
+	env := experiments.Environment()
+	codec := env.General("it")
+	gen := corpus.NewGenerator(env.Corpus, mat.NewRNG(7))
+	var words []string
+	for len(words) < 1024 {
+		words = append(words, gen.Message(env.Corpus.Domain("it").Index, nil).Words...)
+	}
+	words = words[:1024]
+	ids := make([]int, len(words))
+	for i, w := range words {
+		ids[i] = codec.Domain().SurfaceID(w)
+	}
+	b.Run("pervector", func(b *testing.B) {
+		feat := make([]float64, codec.FeatureDim())
+		concepts := make([]int, len(words))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for t, id := range ids {
+				codec.EncodeSurfaceID(id, feat)
+				concepts[t] = codec.DecodeFeature(feat)
+			}
+		}
+		b.ReportMetric(float64(len(words)), "tokens/op")
+	})
+	b.Run("gemm", func(b *testing.B) {
+		sc := mat.GetScratch()
+		defer mat.PutScratch(sc)
+		concepts := make([]int, len(words))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sc.Reset()
+			feats := codec.EncodeWordsInto(sc, words)
+			codec.DecodeFeaturesInto(sc, feats, concepts)
+		}
+		b.ReportMetric(float64(len(words)), "tokens/op")
+	})
+	// The raw kernel contrast at the decoder output-layer shape (the
+	// dominant GEMM of the serve path), without the tanh/argmax floor the
+	// full pipeline shares: one MulVec per token versus one blocked GEMM
+	// over all tokens.
+	const tokens, hidden, concepts = 1024, 24, 59
+	w := mat.NewDense(concepts, hidden)
+	w.Randomize(mat.NewRNG(3), 1)
+	x := mat.NewDense(tokens, hidden)
+	x.Randomize(mat.NewRNG(4), 1)
+	out := mat.NewDense(tokens, concepts)
+	// The seed kernel: one accumulator chain per output element, no
+	// interleaving. Every madd waits on the previous add, so this is
+	// FP-add-latency-bound — the floor the blocked kernels escape.
+	b.Run("kernel/serialchain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for t := 0; t < tokens; t++ {
+				xr := x.Row(t)
+				or := out.Row(t)
+				for r := 0; r < concepts; r++ {
+					row := w.Row(r)
+					s := 0.0
+					for j, wv := range row {
+						s += wv * xr[j]
+					}
+					or[r] = s
+				}
+			}
+		}
+	})
+	b.Run("kernel/pervector", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for t := 0; t < tokens; t++ {
+				w.MulVec(out.Row(t), x.Row(t))
+			}
+		}
+	})
+	b.Run("kernel/gemm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mat.MulMatT(out, x, w)
+		}
+	})
+}
+
 // BenchmarkTransmitThroughput measures end-to-end System.Transmit message
 // throughput: one sequential system versus one independent system per
 // processor fed concurrently (the paper's many-users edge-load scenario).

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Comparison is the verdict for one benchmark present in both reports.
+type Comparison struct {
+	Name  string
+	Base  float64 // baseline best (min) ns/op
+	New   float64 // current best (min) ns/op
+	Delta float64 // (New-Base)/Base; positive = regression
+	Level string  // "", "WARN" or "FAIL"
+}
+
+// CompareResult aggregates a baseline/current report comparison.
+type CompareResult struct {
+	Rows     []Comparison
+	Missing  []string // benchmarks in the baseline absent from the current run
+	Warnings int
+	Failures int
+}
+
+// compareReports diffs best-of-run (min) ns/op per benchmark — the
+// standard robust statistic for wall-clock comparisons, since scheduling
+// noise only ever inflates a sample. Regressions at or above warnFrac
+// mark WARN, at or above failFrac mark FAIL; improvements and small
+// noise pass silently. Benchmarks without ns/op samples (pure metric
+// reporters) are skipped; baseline benchmarks missing from the current
+// run are listed and counted as warnings. Benchmarks with fewer than
+// minRuns samples on either side are capped at WARN: a single-iteration
+// measurement on a different CPU is too noisy to hard-fail a job, so
+// only the deliberately multi-sampled benchmarks gate.
+func compareReports(base, cur *Report, warnFrac, failFrac float64, minRuns int) CompareResult {
+	var res CompareResult
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		if b.NsPerOp == nil || b.NsPerOp.Min <= 0 {
+			continue
+		}
+		c, ok := cur.Benchmarks[name]
+		if !ok || c.NsPerOp == nil {
+			res.Missing = append(res.Missing, name)
+			res.Warnings++
+			continue
+		}
+		row := Comparison{
+			Name:  name,
+			Base:  b.NsPerOp.Min,
+			New:   c.NsPerOp.Min,
+			Delta: (c.NsPerOp.Min - b.NsPerOp.Min) / b.NsPerOp.Min,
+		}
+		canFail := b.Runs >= minRuns && c.Runs >= minRuns
+		switch {
+		case row.Delta >= failFrac && canFail:
+			row.Level = "FAIL"
+			res.Failures++
+		case row.Delta >= warnFrac:
+			row.Level = "WARN"
+			res.Warnings++
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// readReport loads a benchjson document.
+func readReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep Report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("benchjson: parse %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// printComparison renders the comparison table.
+func printComparison(w io.Writer, res CompareResult, warnFrac, failFrac float64) {
+	for _, row := range res.Rows {
+		level := "    "
+		if row.Level != "" {
+			level = row.Level
+		}
+		fmt.Fprintf(w, "%s %-60s %12.0f -> %12.0f ns/op  %+6.1f%%\n",
+			level, row.Name, row.Base, row.New, 100*row.Delta)
+	}
+	for _, name := range res.Missing {
+		fmt.Fprintf(w, "MISS %-60s not in current run\n", name)
+	}
+	fmt.Fprintf(w, "%d benchmarks compared: %d warnings (>= %.0f%%), %d failures (>= %.0f%%)\n",
+		len(res.Rows), res.Warnings, 100*warnFrac, res.Failures, 100*failFrac)
+}
+
+// runCompare executes comparison mode: exit status 1 when any benchmark
+// regressed past the failure threshold.
+func runCompare(basePath, curPath string, warnFrac, failFrac float64, minRuns int) error {
+	base, err := readReport(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := readReport(curPath)
+	if err != nil {
+		return err
+	}
+	res := compareReports(base, cur, warnFrac, failFrac, minRuns)
+	fmt.Printf("benchjson: %s vs baseline %s\n", curPath, basePath)
+	printComparison(os.Stdout, res, warnFrac, failFrac)
+	if res.Failures > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed >= %.0f%% on ns/op", res.Failures, 100*failFrac)
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// mkReport builds a report with the given benchmark ns/op means.
+func mkReport(ns map[string]float64) *Report {
+	rep := &Report{Benchmarks: make(map[string]*Bench)}
+	for name, v := range ns {
+		rep.Benchmarks[name] = &Bench{Runs: 1, Iters: 1, NsPerOp: &Stat{Mean: v, Min: v, Max: v}}
+	}
+	return rep
+}
+
+func TestCompareReportsThresholds(t *testing.T) {
+	base := mkReport(map[string]float64{
+		"BenchmarkFast":     100,
+		"BenchmarkWarn":     100,
+		"BenchmarkFail":     100,
+		"BenchmarkImproved": 100,
+		"BenchmarkGone":     100,
+	})
+	cur := mkReport(map[string]float64{
+		"BenchmarkFast":     105, // +5%: fine
+		"BenchmarkWarn":     112, // +12%: warn
+		"BenchmarkFail":     130, // +30%: fail
+		"BenchmarkImproved": 50,  // -50%: fine
+		"BenchmarkNew":      77,  // not in baseline: ignored
+	})
+	res := compareReports(base, cur, 0.10, 0.25, 1)
+	if res.Warnings != 2 || res.Failures != 1 {
+		t.Fatalf("warnings=%d failures=%d, want 2 (incl. missing) and 1", res.Warnings, res.Failures)
+	}
+	byName := make(map[string]Comparison, len(res.Rows))
+	for _, row := range res.Rows {
+		byName[row.Name] = row
+	}
+	if byName["BenchmarkFast"].Level != "" || byName["BenchmarkImproved"].Level != "" {
+		t.Fatalf("benign rows flagged: %+v", res.Rows)
+	}
+	if byName["BenchmarkWarn"].Level != "WARN" {
+		t.Fatalf("BenchmarkWarn level = %q", byName["BenchmarkWarn"].Level)
+	}
+	if byName["BenchmarkFail"].Level != "FAIL" {
+		t.Fatalf("BenchmarkFail level = %q", byName["BenchmarkFail"].Level)
+	}
+	if len(res.Missing) != 1 || res.Missing[0] != "BenchmarkGone" {
+		t.Fatalf("missing = %v, want [BenchmarkGone]", res.Missing)
+	}
+	// The vanished benchmark counts as the second warning.
+	if res.Warnings != 2 {
+		t.Fatalf("warnings = %d, want 2 (one WARN row + one missing)", res.Warnings)
+	}
+}
+
+func TestCompareReportsBoundaryExactlyAtThreshold(t *testing.T) {
+	base := mkReport(map[string]float64{"BenchmarkEdge": 100})
+	cur := mkReport(map[string]float64{"BenchmarkEdge": 125})
+	res := compareReports(base, cur, 0.10, 0.25, 1)
+	if res.Failures != 1 {
+		t.Fatalf("+25%% exactly must fail, got %+v", res.Rows)
+	}
+}
+
+func TestCompareReportsSkipsMetricOnlyBenchmarks(t *testing.T) {
+	base := &Report{Benchmarks: map[string]*Bench{
+		"BenchmarkMetricsOnly": {Runs: 1, Metrics: map[string]*Stat{"acc": {Mean: 0.9}}},
+	}}
+	cur := mkReport(map[string]float64{})
+	res := compareReports(base, cur, 0.10, 0.25, 1)
+	if len(res.Rows) != 0 || len(res.Missing) != 0 {
+		t.Fatalf("metric-only benchmark not skipped: %+v", res)
+	}
+}
+
+func TestCompareReportsMinRunsCapsAtWarn(t *testing.T) {
+	// Single-sample benchmarks regressing past the fail threshold may only
+	// warn when -min-runs demands more samples; multi-sample ones still fail.
+	base := mkReport(map[string]float64{"BenchmarkOnce": 100, "BenchmarkThrice": 100})
+	cur := mkReport(map[string]float64{"BenchmarkOnce": 200, "BenchmarkThrice": 200})
+	base.Benchmarks["BenchmarkThrice"].Runs = 3
+	cur.Benchmarks["BenchmarkThrice"].Runs = 3
+	res := compareReports(base, cur, 0.10, 0.25, 2)
+	if res.Failures != 1 || res.Warnings != 1 {
+		t.Fatalf("failures=%d warnings=%d, want 1 and 1: %+v", res.Failures, res.Warnings, res.Rows)
+	}
+	for _, row := range res.Rows {
+		if row.Name == "BenchmarkOnce" && row.Level != "WARN" {
+			t.Fatalf("single-sample regression level = %q, want WARN", row.Level)
+		}
+		if row.Name == "BenchmarkThrice" && row.Level != "FAIL" {
+			t.Fatalf("multi-sample regression level = %q, want FAIL", row.Level)
+		}
+	}
+}
+
+func TestPrintComparisonRendersLevels(t *testing.T) {
+	base := mkReport(map[string]float64{"BenchmarkA": 100, "BenchmarkB": 100})
+	cur := mkReport(map[string]float64{"BenchmarkA": 140})
+	res := compareReports(base, cur, 0.10, 0.25, 1)
+	var sb strings.Builder
+	printComparison(&sb, res, 0.10, 0.25)
+	out := sb.String()
+	if !strings.Contains(out, "FAIL") || !strings.Contains(out, "BenchmarkA") {
+		t.Fatalf("missing FAIL row:\n%s", out)
+	}
+	if !strings.Contains(out, "MISS") || !strings.Contains(out, "BenchmarkB") {
+		t.Fatalf("missing MISS row:\n%s", out)
+	}
+}

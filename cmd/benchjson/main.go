@@ -87,10 +87,11 @@ func parseBench(r io.Reader) (*Report, error) {
 		if err != nil {
 			continue
 		}
-		s := acc[fields[0]]
+		name := stripProcSuffix(fields[0])
+		s := acc[name]
 		if s == nil {
 			s = &samples{units: make(map[string][]float64)}
-			acc[fields[0]] = s
+			acc[name] = s
 		}
 		s.iters += iters
 		for i := 2; i+1 < len(fields); i += 2 {
@@ -132,6 +133,23 @@ func parseBench(r io.Reader) (*Report, error) {
 	return rep, nil
 }
 
+// stripProcSuffix removes the trailing "-N" GOMAXPROCS marker go test
+// appends to benchmark names (absent when GOMAXPROCS is 1). Without the
+// strip, documents recorded at different processor counts have disjoint
+// name sets and a baseline comparison matches nothing.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	for _, r := range name[i+1:] {
+		if r < '0' || r > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
 // newStat reduces a sample list.
 func newStat(vals []float64) *Stat {
 	st := &Stat{Min: vals[0], Max: vals[0]}
@@ -157,7 +175,17 @@ func main() {
 
 func run() error {
 	out := flag.String("o", "", "output file (default stdout)")
+	compare := flag.Bool("compare", false, "compare two benchjson files: benchjson -compare BASELINE CURRENT")
+	warn := flag.Float64("warn", 0.10, "with -compare: warn at this fractional ns/op regression")
+	failAt := flag.Float64("fail", 0.25, "with -compare: fail (exit 1) at this fractional ns/op regression")
+	minRuns := flag.Int("min-runs", 1, "with -compare: benchmarks with fewer samples than this on either side warn but never fail")
 	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			return fmt.Errorf("-compare needs exactly two file arguments (baseline, current), got %d", flag.NArg())
+		}
+		return runCompare(flag.Arg(0), flag.Arg(1), *warn, *failAt, *minRuns)
+	}
 	rep, err := parseBench(os.Stdin)
 	if err != nil {
 		return err

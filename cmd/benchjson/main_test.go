@@ -34,7 +34,7 @@ func TestParseBench(t *testing.T) {
 		t.Fatalf("got %d benchmarks, want 4", len(rep.Benchmarks))
 	}
 
-	single := rep.Benchmarks["BenchmarkSystemTransmit-8"]
+	single := rep.Benchmarks["BenchmarkSystemTransmit"]
 	if single == nil || single.Runs != 1 || single.Iters != 1207 {
 		t.Fatalf("single = %+v", single)
 	}
@@ -42,7 +42,7 @@ func TestParseBench(t *testing.T) {
 		t.Fatalf("single stats = %+v", single.NsPerOp)
 	}
 
-	multi := rep.Benchmarks["BenchmarkConcurrentTransmit/8users-8"]
+	multi := rep.Benchmarks["BenchmarkConcurrentTransmit/8users"]
 	if multi == nil || multi.Runs != 3 {
 		t.Fatalf("multi = %+v", multi)
 	}
@@ -53,12 +53,31 @@ func TestParseBench(t *testing.T) {
 		t.Fatalf("allocs aggregate = %+v", multi.AllocsPerOp)
 	}
 
-	custom := rep.Benchmarks["BenchmarkE1SemanticVsTraditional-8"]
+	custom := rep.Benchmarks["BenchmarkE1SemanticVsTraditional"]
 	if custom == nil || custom.Metrics["sem_sim@-6dB"].Mean != 0.95 {
 		t.Fatalf("custom metrics = %+v", custom)
 	}
 	if custom.Metrics["payload_ratio"].Mean != 5.1 {
 		t.Fatalf("payload_ratio = %+v", custom.Metrics["payload_ratio"])
+	}
+}
+
+// TestStripProcSuffix pins the GOMAXPROCS-marker normalization: reports
+// recorded at different processor counts must share one name set so the
+// baseline comparison can match them.
+func TestStripProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":                     "BenchmarkFoo",
+		"BenchmarkFoo/bar-16":                "BenchmarkFoo/bar",
+		"BenchmarkFoo":                       "BenchmarkFoo",
+		"BenchmarkMulVec/1024x1024/serial-4": "BenchmarkMulVec/1024x1024/serial",
+		"BenchmarkFoo-8x":                    "BenchmarkFoo-8x", // non-numeric tail stays
+		"BenchmarkFoo-":                      "BenchmarkFoo-",
+	}
+	for in, want := range cases {
+		if got := stripProcSuffix(in); got != want {
+			t.Fatalf("stripProcSuffix(%q) = %q, want %q", in, got, want)
+		}
 	}
 }
 

@@ -26,6 +26,8 @@ import (
 	"io"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers for -pprof
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -83,6 +85,7 @@ func run() error {
 		seed        = flag.Uint64("seed", 1, "deterministic seed")
 		kbDir       = flag.String("kb", "", "directory of pretrained .kbm models (see cmd/semkb); empty pretrains at startup")
 		nodes       = flag.Int("nodes", 0, "cluster mode: number of sender edge nodes (0/1 = classic single sender)")
+		pprofAddr   = flag.String("pprof", "", "expose net/http/pprof on this address (e.g. localhost:6060); empty disables")
 		workers     = flag.Int("workers", 0, "parallel workers for pretraining and codec kernels (0 = GOMAXPROCS)")
 		maxInflight = flag.Int("max-inflight", 0, "max concurrently served transmits (0 = 2x GOMAXPROCS, <0 = unlimited)")
 		idleTimeout = flag.Duration("idle-timeout", 5*time.Minute, "per-connection read deadline; 0 disables")
@@ -91,6 +94,17 @@ func run() error {
 	flag.Parse()
 	if *workers > 0 {
 		mat.SetParallelism(*workers)
+	}
+	if *pprofAddr != "" {
+		// The pprof mux registers on http.DefaultServeMux via the blank
+		// import; serving it on a side port lets `go tool pprof` attach to
+		// a live daemon and profile serving hotspots under real load.
+		go func() {
+			log.Printf("edged: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("edged: pprof server: %v", err)
+			}
+		}()
 	}
 
 	cfg := core.Config{

@@ -26,6 +26,7 @@ import (
 	"log"
 	"math"
 	"net"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -179,6 +180,8 @@ func run() error {
 	)
 	budget.Store(int64(*requests))
 
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	for u := 0; u < *users; u++ {
 		wg.Add(1)
@@ -196,6 +199,8 @@ func run() error {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 	if loopErr != nil {
 		return loopErr
 	}
@@ -206,6 +211,7 @@ func run() error {
 	fmt.Printf("rate     : %.1f req/s (closed loop)\n", float64(done)/elapsed.Seconds())
 	fmt.Printf("latency  : mean %.2f ms  p50 %.2f ms  p95 %.2f ms  p99 %.2f ms\n",
 		hist.Mean(), hist.P(50), hist.P(95), hist.P(99))
+	memReport(&memBefore, &memAfter, int(done))
 	type dc struct {
 		name string
 		n    int64
@@ -226,6 +232,23 @@ func run() error {
 	// Close with the daemon's own view of the run.
 	printDaemonStats(*addr)
 	return nil
+}
+
+// memReport prints the client-process allocation pressure of the load run
+// from two runtime.MemStats snapshots: total bytes allocated, allocation
+// count, GC cycles and cumulative pause time. Latency percentiles alone
+// hide GC impact; this line puts them side by side.
+func memReport(before, after *runtime.MemStats, requests int) {
+	allocBytes := after.TotalAlloc - before.TotalAlloc
+	allocs := after.Mallocs - before.Mallocs
+	gcs := after.NumGC - before.NumGC
+	pause := time.Duration(after.PauseTotalNs - before.PauseTotalNs)
+	perReq := float64(0)
+	if requests > 0 {
+		perReq = float64(allocBytes) / float64(requests)
+	}
+	fmt.Printf("memory   : %.1f MiB allocated (%.0f B/req), %d allocs, %d GC cycles, %s pause total\n",
+		float64(allocBytes)/(1<<20), perReq, allocs, gcs, pause.Round(10*time.Microsecond))
 }
 
 // printDaemonStats fetches and prints the daemon counters (best-effort:
@@ -317,6 +340,8 @@ func runMobility(addr string, users, requests, cells int, moveRate float64, seed
 		moves     int
 		daemonErr int
 	)
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	for i := 0; i < requests; i++ {
 		u := sched.Intn(users)
@@ -367,12 +392,15 @@ func runMobility(addr string, users, requests, cells int, moveRate float64, seed
 			strconv.FormatUint(math.Float64bits(resp.LatencyMs), 16))
 	}
 	elapsed := time.Since(start)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 
 	fmt.Printf("requests : %d ok, %d daemon errors, %d users (serial), %.2fs\n",
 		requests-daemonErr, daemonErr, users, elapsed.Seconds())
 	fmt.Printf("rate     : %.1f req/s (closed loop)\n", float64(requests)/elapsed.Seconds())
 	fmt.Printf("latency  : mean %.2f ms  p50 %.2f ms  p95 %.2f ms  p99 %.2f ms\n",
 		hist.Mean(), hist.P(50), hist.P(95), hist.P(99))
+	memReport(&memBefore, &memAfter, requests)
 	fmt.Printf("mobility : %d moves, %d handovers, %d cells, rate %.2f\n", moves, handovers, cells, moveRate)
 	fmt.Printf("digest   : %016x\n", digest)
 	printDaemonStats(addr)

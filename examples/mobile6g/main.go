@@ -79,7 +79,7 @@ func run() error {
 	for round := 0; round < 4; round++ {
 		for i := 0; i < 24; i++ {
 			m := gen.Message(d.Index, idio)
-			if _, _, err := edgeA.RecordTransaction(d.Name, "u1", m.Words); err != nil {
+			if _, _, err := edgeA.RecordTransaction(nil, d.Name, "u1", m.Words, nil); err != nil {
 				return err
 			}
 		}

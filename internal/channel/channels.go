@@ -23,10 +23,13 @@ var _ Channel = Clean{}
 func (Clean) Name() string { return "clean" }
 
 // Transmit implements Channel.
-func (Clean) Transmit(symbols []complex128) []complex128 {
-	out := make([]complex128, len(symbols))
-	copy(out, symbols)
-	return out
+func (c Clean) Transmit(symbols []complex128) []complex128 {
+	return c.TransmitTo(make([]complex128, 0, len(symbols)), symbols)
+}
+
+// TransmitTo implements the allocation-free fast path.
+func (Clean) TransmitTo(dst, symbols []complex128) []complex128 {
+	return append(dst, symbols...)
 }
 
 // AWGN adds complex white Gaussian noise at a configured signal-to-noise
@@ -52,12 +55,17 @@ func (c *AWGN) NoiseSigma() float64 {
 
 // Transmit implements Channel.
 func (c *AWGN) Transmit(symbols []complex128) []complex128 {
+	return c.TransmitTo(make([]complex128, 0, len(symbols)), symbols)
+}
+
+// TransmitTo implements the allocation-free fast path; the noise RNG is
+// consumed in exactly the Transmit order.
+func (c *AWGN) TransmitTo(dst, symbols []complex128) []complex128 {
 	sigma := c.NoiseSigma()
-	out := make([]complex128, len(symbols))
-	for i, s := range symbols {
-		out[i] = s + complex(sigma*c.Rng.NormFloat64(), sigma*c.Rng.NormFloat64())
+	for _, s := range symbols {
+		dst = append(dst, s+complex(sigma*c.Rng.NormFloat64(), sigma*c.Rng.NormFloat64()))
 	}
-	return out
+	return dst
 }
 
 // Rayleigh models flat Rayleigh fading with AWGN and perfect channel state
@@ -79,13 +87,18 @@ func (c *Rayleigh) Name() string { return "rayleigh" }
 
 // Transmit implements Channel.
 func (c *Rayleigh) Transmit(symbols []complex128) []complex128 {
+	return c.TransmitTo(make([]complex128, 0, len(symbols)), symbols)
+}
+
+// TransmitTo implements the allocation-free fast path; fading and noise
+// draws consume the RNG in exactly the Transmit order.
+func (c *Rayleigh) TransmitTo(dst, symbols []complex128) []complex128 {
 	noisePower := math.Pow(10, -c.SNRdB/10)
 	sigma := math.Sqrt(noisePower / 2)
 	block := c.BlockLen
 	if block <= 0 {
 		block = 1
 	}
-	out := make([]complex128, len(symbols))
 	var h complex128
 	for i, s := range symbols {
 		if i%block == 0 {
@@ -97,9 +110,9 @@ func (c *Rayleigh) Transmit(symbols []complex128) []complex128 {
 			}
 		}
 		n := complex(sigma*c.Rng.NormFloat64(), sigma*c.Rng.NormFloat64())
-		out[i] = (h*s + n) / h
+		dst = append(dst, (h*s+n)/h)
 	}
-	return out
+	return dst
 }
 
 // Erasure zeroes each symbol independently with probability P, modeling
@@ -118,13 +131,18 @@ func (c *Erasure) Name() string { return "erasure" }
 
 // Transmit implements Channel.
 func (c *Erasure) Transmit(symbols []complex128) []complex128 {
-	out := make([]complex128, len(symbols))
-	for i, s := range symbols {
+	return c.TransmitTo(make([]complex128, 0, len(symbols)), symbols)
+}
+
+// TransmitTo implements the allocation-free fast path; erasure draws
+// consume the RNG in exactly the Transmit order.
+func (c *Erasure) TransmitTo(dst, symbols []complex128) []complex128 {
+	for _, s := range symbols {
 		if c.Rng.Float64() < c.P {
-			out[i] = 0
+			dst = append(dst, 0)
 		} else {
-			out[i] = s
+			dst = append(dst, s)
 		}
 	}
-	return out
+	return dst
 }

@@ -25,17 +25,23 @@ func (Identity) Name() string { return "none" }
 func (Identity) Rate() float64 { return 1 }
 
 // Encode implements Code.
-func (Identity) Encode(bits []bool) []bool {
-	out := make([]bool, len(bits))
-	copy(out, bits)
-	return out
+func (c Identity) Encode(bits []bool) []bool {
+	return c.EncodeTo(make([]bool, 0, len(bits)), bits)
+}
+
+// EncodeTo implements the allocation-free fast path.
+func (Identity) EncodeTo(dst, bits []bool) []bool {
+	return append(dst, bits...)
 }
 
 // Decode implements Code.
-func (Identity) Decode(coded []bool) []bool {
-	out := make([]bool, len(coded))
-	copy(out, coded)
-	return out
+func (c Identity) Decode(coded []bool) []bool {
+	return c.DecodeTo(make([]bool, 0, len(coded)), coded)
+}
+
+// DecodeTo implements the allocation-free fast path.
+func (Identity) DecodeTo(dst, coded []bool) []bool {
+	return append(dst, coded...)
 }
 
 // Repetition repeats every bit N times and decodes by majority vote. N must
@@ -70,21 +76,29 @@ func (r Repetition) n() int {
 
 // Encode implements Code.
 func (r Repetition) Encode(bits []bool) []bool {
+	return r.EncodeTo(make([]bool, 0, len(bits)*r.n()), bits)
+}
+
+// EncodeTo implements the allocation-free fast path.
+func (r Repetition) EncodeTo(dst, bits []bool) []bool {
 	n := r.n()
-	out := make([]bool, 0, len(bits)*n)
 	for _, b := range bits {
 		for i := 0; i < n; i++ {
-			out = append(out, b)
+			dst = append(dst, b)
 		}
 	}
-	return out
+	return dst
 }
 
 // Decode implements Code.
 func (r Repetition) Decode(coded []bool) []bool {
+	return r.DecodeTo(make([]bool, 0, len(coded)/r.n()), coded)
+}
+
+// DecodeTo implements the allocation-free fast path.
+func (r Repetition) DecodeTo(dst, coded []bool) []bool {
 	n := r.n()
 	count := len(coded) / n
-	out := make([]bool, count)
 	for i := 0; i < count; i++ {
 		ones := 0
 		for j := 0; j < n; j++ {
@@ -92,9 +106,9 @@ func (r Repetition) Decode(coded []bool) []bool {
 				ones++
 			}
 		}
-		out[i] = ones*2 > n
+		dst = append(dst, ones*2 > n)
 	}
-	return out
+	return dst
 }
 
 // Hamming74 is the classic (7,4) Hamming code: 4 information bits per
@@ -112,10 +126,14 @@ func (Hamming74) Rate() float64 { return 4.0 / 7.0 }
 
 // Encode implements Code. Codeword layout: p1 p2 d1 p3 d2 d3 d4 with
 // parity positions 1, 2 and 4 (1-indexed).
-func (Hamming74) Encode(bits []bool) []bool {
+func (c Hamming74) Encode(bits []bool) []bool {
+	return c.EncodeTo(make([]bool, 0, (len(bits)+3)/4*7), bits)
+}
+
+// EncodeTo implements the allocation-free fast path.
+func (Hamming74) EncodeTo(dst, bits []bool) []bool {
 	blocks := (len(bits) + 3) / 4
-	out := make([]bool, 0, blocks*7)
-	d := make([]bool, 4)
+	var d [4]bool
 	for blk := 0; blk < blocks; blk++ {
 		for i := 0; i < 4; i++ {
 			idx := blk*4 + i
@@ -128,18 +146,22 @@ func (Hamming74) Encode(bits []bool) []bool {
 		p1 := d[0] != d[1] != d[3]
 		p2 := d[0] != d[2] != d[3]
 		p3 := d[1] != d[2] != d[3]
-		out = append(out, p1, p2, d[0], p3, d[1], d[2], d[3])
+		dst = append(dst, p1, p2, d[0], p3, d[1], d[2], d[3])
 	}
-	return out
+	return dst
 }
 
 // Decode implements Code, correcting at most one bit error per 7-bit block.
-func (Hamming74) Decode(coded []bool) []bool {
+func (c Hamming74) Decode(coded []bool) []bool {
+	return c.DecodeTo(make([]bool, 0, len(coded)/7*4), coded)
+}
+
+// DecodeTo implements the allocation-free fast path.
+func (Hamming74) DecodeTo(dst, coded []bool) []bool {
 	blocks := len(coded) / 7
-	out := make([]bool, 0, blocks*4)
-	w := make([]bool, 7)
+	var w [7]bool
 	for blk := 0; blk < blocks; blk++ {
-		copy(w, coded[blk*7:blk*7+7])
+		copy(w[:], coded[blk*7:blk*7+7])
 		// Syndrome bits (1-indexed positions).
 		s1 := w[0] != w[2] != w[4] != w[6]
 		s2 := w[1] != w[2] != w[5] != w[6]
@@ -157,7 +179,7 @@ func (Hamming74) Decode(coded []bool) []bool {
 		if syndrome != 0 {
 			w[syndrome-1] = !w[syndrome-1]
 		}
-		out = append(out, w[2], w[4], w[5], w[6])
+		dst = append(dst, w[2], w[4], w[5], w[6])
 	}
-	return out
+	return dst
 }

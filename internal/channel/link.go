@@ -35,6 +35,50 @@ func DefaultFeatureLink(ch Channel) FeatureLink {
 	}
 }
 
+// SendFlat transmits a flat feature buffer (token-major, the Data layout
+// of a feature matrix) and writes the received values into dst, which must
+// have length len(flat); positions past the received stream are zeroed. It
+// is bit-identical to Send on the same values but lets callers reuse one
+// receive buffer across transmissions instead of allocating per-token
+// vectors.
+func (l FeatureLink) SendFlat(dst, flat []float64) LinkStats {
+	return l.SendFlatScratch(nil, dst, flat)
+}
+
+// SendFlatScratch is SendFlat with caller-owned stage buffers: every
+// intermediate (bit streams, symbol vectors) appends into ts, so a warm
+// steady-state transmission allocates nothing when the configured code,
+// modulation and channel implement the fast-path interfaces (all stock
+// implementations do). ts may be nil, which falls back to fresh buffers.
+// Results are bit-identical to Send/SendFlat.
+func (l FeatureLink) SendFlatScratch(ts *TxScratch, dst, flat []float64) LinkStats {
+	if len(dst) != len(flat) {
+		panic("channel: SendFlat buffer length mismatch")
+	}
+	if ts == nil {
+		ts = new(TxScratch)
+	}
+	ts.info = l.Quant.EncodeTo(ts.info[:0], flat)
+	ts.coded = codeEncode(l.Code, ts.coded[:0], ts.info)
+	ts.symbols = modulate(l.Mod, ts.symbols[:0], ts.coded)
+	ts.received = transmit(l.Ch, ts.received[:0], ts.symbols)
+	codedRx := demodulate(l.Mod, ts.codedRx[:0], ts.received)
+	ts.codedRx = codedRx
+	if len(codedRx) > len(ts.coded) {
+		codedRx = codedRx[:len(ts.coded)]
+	}
+	infoRx := codeDecode(l.Code, ts.infoRx[:0], codedRx)
+	ts.infoRx = infoRx
+	if len(infoRx) > len(ts.info) {
+		infoRx = infoRx[:len(ts.info)]
+	}
+	n := l.Quant.DecodeInto(dst, infoRx)
+	for i := n; i < len(dst); i++ {
+		dst[i] = 0
+	}
+	return LinkStats{InfoBits: len(ts.info), CodedBits: len(ts.coded), Symbols: len(ts.symbols)}
+}
+
 // Send transmits per-token feature vectors and returns the received
 // feature vectors together with transport statistics. The feature
 // dimensionality dim must match every vector.
@@ -43,26 +87,15 @@ func (l FeatureLink) Send(feats [][]float64, dim int) ([][]float64, LinkStats) {
 	for _, f := range feats {
 		flat = append(flat, f...)
 	}
-	info := l.Quant.Encode(flat)
-	coded := l.Code.Encode(info)
-	symbols := l.Mod.Modulate(coded)
-	received := l.Ch.Transmit(symbols)
-	codedRx := l.Mod.Demodulate(received)
-	if len(codedRx) > len(coded) {
-		codedRx = codedRx[:len(coded)]
-	}
-	infoRx := l.Code.Decode(codedRx)
-	if len(infoRx) > len(info) {
-		infoRx = infoRx[:len(info)]
-	}
-	values := l.Quant.Decode(infoRx)
+	rx := make([]float64, len(flat))
+	stats := l.SendFlat(rx, flat)
 	out := make([][]float64, len(feats))
 	for i := range out {
 		v := make([]float64, dim)
-		copy(v, values[i*dim:min(len(values), (i+1)*dim)])
+		copy(v, rx[min(len(rx), i*dim):min(len(rx), (i+1)*dim)])
 		out[i] = v
 	}
-	return out, LinkStats{InfoBits: len(info), CodedBits: len(coded), Symbols: len(symbols)}
+	return out, stats
 }
 
 // AnalogLink transmits features directly as symbol amplitudes (two feature

@@ -29,25 +29,33 @@ func (BPSK) Name() string { return "bpsk" }
 func (BPSK) BitsPerSymbol() int { return 1 }
 
 // Modulate implements Modulation.
-func (BPSK) Modulate(bits []bool) []complex128 {
-	out := make([]complex128, len(bits))
-	for i, b := range bits {
+func (m BPSK) Modulate(bits []bool) []complex128 {
+	return m.ModulateTo(make([]complex128, 0, len(bits)), bits)
+}
+
+// ModulateTo implements the allocation-free fast path.
+func (BPSK) ModulateTo(dst []complex128, bits []bool) []complex128 {
+	for _, b := range bits {
 		if b {
-			out[i] = complex(1, 0)
+			dst = append(dst, complex(1, 0))
 		} else {
-			out[i] = complex(-1, 0)
+			dst = append(dst, complex(-1, 0))
 		}
 	}
-	return out
+	return dst
 }
 
 // Demodulate implements Modulation.
-func (BPSK) Demodulate(symbols []complex128) []bool {
-	out := make([]bool, len(symbols))
-	for i, s := range symbols {
-		out[i] = real(s) >= 0
+func (m BPSK) Demodulate(symbols []complex128) []bool {
+	return m.DemodulateTo(make([]bool, 0, len(symbols)), symbols)
+}
+
+// DemodulateTo implements the allocation-free fast path.
+func (BPSK) DemodulateTo(dst []bool, symbols []complex128) []bool {
+	for _, s := range symbols {
+		dst = append(dst, real(s) >= 0)
 	}
-	return out
+	return dst
 }
 
 // QPSK is quadrature phase-shift keying: two Gray-coded bits per symbol.
@@ -65,9 +73,13 @@ func (QPSK) BitsPerSymbol() int { return 2 }
 var qpskAmp = 1 / math.Sqrt2
 
 // Modulate implements Modulation.
-func (QPSK) Modulate(bits []bool) []complex128 {
+func (m QPSK) Modulate(bits []bool) []complex128 {
+	return m.ModulateTo(make([]complex128, 0, (len(bits)+1)/2), bits)
+}
+
+// ModulateTo implements the allocation-free fast path.
+func (QPSK) ModulateTo(dst []complex128, bits []bool) []complex128 {
 	n := (len(bits) + 1) / 2
-	out := make([]complex128, n)
 	for i := 0; i < n; i++ {
 		b0, b1 := false, false
 		if 2*i < len(bits) {
@@ -83,18 +95,22 @@ func (QPSK) Modulate(bits []bool) []complex128 {
 		if b1 {
 			im = qpskAmp
 		}
-		out[i] = complex(re, im)
+		dst = append(dst, complex(re, im))
 	}
-	return out
+	return dst
 }
 
 // Demodulate implements Modulation.
-func (QPSK) Demodulate(symbols []complex128) []bool {
-	out := make([]bool, 0, 2*len(symbols))
+func (m QPSK) Demodulate(symbols []complex128) []bool {
+	return m.DemodulateTo(make([]bool, 0, 2*len(symbols)), symbols)
+}
+
+// DemodulateTo implements the allocation-free fast path.
+func (QPSK) DemodulateTo(dst []bool, symbols []complex128) []bool {
 	for _, s := range symbols {
-		out = append(out, real(s) >= 0, imag(s) >= 0)
+		dst = append(dst, real(s) >= 0, imag(s) >= 0)
 	}
-	return out
+	return dst
 }
 
 // QAM16 is 16-ary quadrature amplitude modulation with Gray coding: four
@@ -143,9 +159,13 @@ func qam16Bits(v float64) (bool, bool) {
 }
 
 // Modulate implements Modulation.
-func (QAM16) Modulate(bits []bool) []complex128 {
+func (m QAM16) Modulate(bits []bool) []complex128 {
+	return m.ModulateTo(make([]complex128, 0, (len(bits)+3)/4), bits)
+}
+
+// ModulateTo implements the allocation-free fast path.
+func (QAM16) ModulateTo(dst []complex128, bits []bool) []complex128 {
 	n := (len(bits) + 3) / 4
-	out := make([]complex128, n)
 	get := func(i int) bool {
 		if i < len(bits) {
 			return bits[i]
@@ -155,18 +175,22 @@ func (QAM16) Modulate(bits []bool) []complex128 {
 	for i := 0; i < n; i++ {
 		re := qam16Level(get(4*i), get(4*i+1))
 		im := qam16Level(get(4*i+2), get(4*i+3))
-		out[i] = complex(re*qam16Amp, im*qam16Amp)
+		dst = append(dst, complex(re*qam16Amp, im*qam16Amp))
 	}
-	return out
+	return dst
 }
 
 // Demodulate implements Modulation.
-func (QAM16) Demodulate(symbols []complex128) []bool {
-	out := make([]bool, 0, 4*len(symbols))
+func (m QAM16) Demodulate(symbols []complex128) []bool {
+	return m.DemodulateTo(make([]bool, 0, 4*len(symbols)), symbols)
+}
+
+// DemodulateTo implements the allocation-free fast path.
+func (QAM16) DemodulateTo(dst []bool, symbols []complex128) []bool {
 	for _, s := range symbols {
 		b0, b1 := qam16Bits(real(s) / qam16Amp)
 		b2, b3 := qam16Bits(imag(s) / qam16Amp)
-		out = append(out, b0, b1, b2, b3)
+		dst = append(dst, b0, b1, b2, b3)
 	}
-	return out
+	return dst
 }

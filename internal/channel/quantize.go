@@ -19,12 +19,18 @@ func (q Quantizer) levels() int { return 1 << uint(q.Bits) }
 
 // Encode quantizes vals into a bit stream of len(vals)*Bits bits.
 func (q Quantizer) Encode(vals []float64) []bool {
+	return q.EncodeTo(make([]bool, 0, len(vals)*q.Bits), vals)
+}
+
+// EncodeTo quantizes vals, appending the bit stream to dst and returning
+// it: the allocation-free variant of Encode.
+func (q Quantizer) EncodeTo(dst []bool, vals []float64) []bool {
 	if q.Bits < 1 || q.Bits > 16 {
 		panic("channel: Quantizer.Bits out of range [1,16]")
 	}
 	n := q.levels()
 	span := q.Hi - q.Lo
-	out := make([]bool, 0, len(vals)*q.Bits)
+	out := dst
 	for _, v := range vals {
 		if v < q.Lo {
 			v = q.Lo
@@ -50,10 +56,25 @@ func (q Quantizer) Decode(bits []bool) []float64 {
 	if q.Bits < 1 || q.Bits > 16 {
 		panic("channel: Quantizer.Bits out of range [1,16]")
 	}
+	out := make([]float64, len(bits)/q.Bits)
+	q.DecodeInto(out, bits)
+	return out
+}
+
+// DecodeInto reconstructs values from a bit stream produced by Encode into
+// dst, returning how many values were written: min(len(dst),
+// len(bits)/Bits). Trailing bits that do not fill a full code are ignored.
+// It is the allocation-free variant of Decode.
+func (q Quantizer) DecodeInto(dst []float64, bits []bool) int {
+	if q.Bits < 1 || q.Bits > 16 {
+		panic("channel: Quantizer.Bits out of range [1,16]")
+	}
 	n := q.levels()
 	span := q.Hi - q.Lo
 	count := len(bits) / q.Bits
-	out := make([]float64, count)
+	if count > len(dst) {
+		count = len(dst)
+	}
 	for i := 0; i < count; i++ {
 		idx := 0
 		for b := 0; b < q.Bits; b++ {
@@ -62,9 +83,9 @@ func (q Quantizer) Decode(bits []bool) []float64 {
 				idx |= 1
 			}
 		}
-		out[i] = q.Lo + float64(idx)/float64(n-1)*span
+		dst[i] = q.Lo + float64(idx)/float64(n-1)*span
 	}
-	return out
+	return count
 }
 
 // StepSize returns the reconstruction step between adjacent levels.

@@ -72,7 +72,7 @@ func personalize(t *testing.T, c *Cluster, user string, seed uint64) {
 	node := c.Route(user)
 	for i := 0; i < 24; i++ {
 		m := gen.Message(corp.Domain("it").Index, idio)
-		if _, _, err := node.Edge().RecordTransaction("it", user, m.Words); err != nil {
+		if _, _, err := node.Edge().RecordTransaction(nil, "it", user, m.Words, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -166,7 +166,9 @@ func TestHandoverGoldenRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	preEnc, err := from.Edge().Encode("it", user, words)
+	sc := mat.GetScratch()
+	defer mat.PutScratch(sc)
+	preEnc, err := from.Edge().Encode(sc, "it", user, words)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,22 +200,20 @@ func TestHandoverGoldenRoundTrip(t *testing.T) {
 	if !bytes.Equal(postExport.Params, preExport.Params) {
 		t.Fatal("exported parameter bytes differ across handover")
 	}
-	postEnc, err := c.Node(to).Edge().Encode("it", user, words)
+	postEnc, err := c.Node(to).Edge().Encode(sc, "it", user, words)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !postEnc.Individual {
 		t.Fatal("post-handover encode did not use the migrated individual model")
 	}
-	if len(postEnc.Features) != len(preEnc.Features) {
+	if postEnc.Features.Rows != preEnc.Features.Rows {
 		t.Fatal("feature count changed across handover")
 	}
-	for i := range preEnc.Features {
-		for j := range preEnc.Features[i] {
-			if postEnc.Features[i][j] != preEnc.Features[i][j] {
-				t.Fatalf("feature [%d][%d] differs across handover: %v != %v",
-					i, j, postEnc.Features[i][j], preEnc.Features[i][j])
-			}
+	for i := range preEnc.Features.Data {
+		if postEnc.Features.Data[i] != preEnc.Features.Data[i] {
+			t.Fatalf("feature element %d differs across handover: %v != %v",
+				i, postEnc.Features.Data[i], preEnc.Features.Data[i])
 		}
 	}
 }

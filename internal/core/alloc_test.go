@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/mat"
+)
+
+// allocSystem builds a warm pinned system with automatic updates off, so
+// repeated transmits stay on the steady-state path.
+func allocSystem(t *testing.T) *System {
+	t.Helper()
+	cfg := goldenConfig()
+	cfg.DisableAutoUpdate = true
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Sender.Prefetch(s.Corpus.Names()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Receiver.Prefetch(s.Corpus.Names()); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestTransmitCodecPathZeroAllocs pins the steady-state Transmit codec
+// path — batched encode on the sender edge, the physical channel over the
+// shared scratch, batched decode on the receiver edge, and the
+// decoder-copy mismatch decode — at zero heap allocations per message.
+// This is exactly the per-message compute transmitSelected performs; what
+// remains outside are the retained artifacts (Result, transaction buffers,
+// restored words), which hold amortized state by design.
+func TestTransmitCodecPathZeroAllocs(t *testing.T) {
+	if mat.RaceEnabled {
+		t.Skip("allocation accounting differs under -race")
+	}
+	s := allocSystem(t)
+	words := corpus.NewGenerator(s.Corpus, mat.NewRNG(5)).Message(s.Corpus.Domain("it").Index, nil).Words
+	const domain, user = "it", "alloc-user"
+
+	prev := mat.Parallelism()
+	defer mat.SetParallelism(prev)
+	mat.SetParallelism(1) // sharding spawns goroutines, which allocate
+
+	sc := mat.GetScratch()
+	defer mat.PutScratch(sc)
+	mismatch := make([]int, len(words))
+
+	codecPath := func() {
+		sc.Reset()
+		enc, err := s.Sender.Encode(sc, domain, user, words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rx := sc.Mat(enc.Features.Rows, enc.Model.Codec.FeatureDim())
+		s.linkMu.Lock()
+		s.link.SendFlatScratch(&s.linkScratch, rx.Data, enc.Features.Data)
+		s.linkMu.Unlock()
+		if _, err := s.Receiver.DecodeConcepts(sc, domain, user, rx); err != nil {
+			t.Fatal(err)
+		}
+		// Decoder-copy mismatch: reuses the already-encoded features, as
+		// RecordTransaction does inside Transmit.
+		enc.Model.Codec.DecodeFeaturesInto(sc, enc.Features, mismatch)
+	}
+	for i := 0; i < 8; i++ {
+		codecPath() // warm every arena and channel buffer to its high-water mark
+	}
+	if allocs := testing.AllocsPerRun(100, codecPath); allocs != 0 {
+		t.Fatalf("steady-state Transmit codec path allocates %v times per message, want 0", allocs)
+	}
+}
+
+// TestTransmitAllocBudget bounds the WHOLE steady-state TransmitText,
+// including the retained artifacts the codec path excludes. The budget has
+// headroom over the current count (about ten) but fails loudly if per-token
+// allocation ever creeps back in (which costs several allocations per
+// token, i.e. roughly an order of magnitude more).
+func TestTransmitAllocBudget(t *testing.T) {
+	if mat.RaceEnabled {
+		t.Skip("allocation accounting differs under -race")
+	}
+	s := allocSystem(t)
+	words := corpus.NewGenerator(s.Corpus, mat.NewRNG(6)).Message(s.Corpus.Domain("it").Index, nil).Words
+
+	prev := mat.Parallelism()
+	defer mat.SetParallelism(prev)
+	mat.SetParallelism(1)
+
+	transmit := func() {
+		if _, err := s.TransmitText("budget-user", words); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 32; i++ {
+		transmit()
+	}
+	const budget = 24
+	if allocs := testing.AllocsPerRun(50, transmit); allocs > budget {
+		t.Fatalf("steady-state TransmitText allocates %v times per message, budget %d", allocs, budget)
+	}
+}

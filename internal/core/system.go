@@ -231,9 +231,11 @@ type System struct {
 	// linkMu serializes the shared physical channel: its noise RNG is the
 	// one stateful component every transmission crosses. The critical
 	// section is small next to the encode/decode compute, which runs
-	// outside it.
+	// outside it. linkScratch holds the reusable channel stage buffers,
+	// guarded by the same mutex.
 	linkMu       sync.Mutex
 	link         channel.FeatureLink
+	linkScratch  channel.TxScratch
 	symbolRateHz float64
 	edgeLink     netsim.Link
 
@@ -534,6 +536,10 @@ func (s *System) Transmit(req trace.Request) (*Result, error) {
 	st := s.userState(req.User)
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	// One pooled scratch arena backs the whole codec path of this request;
+	// everything it hands out is consumed before the arena is pooled again.
+	sc := mat.GetScratch()
+	defer mat.PutScratch(sc)
 	// Step 1: model selection on the sender edge.
 	var selected int
 	if s.oracle {
@@ -541,7 +547,7 @@ func (s *System) Transmit(req trace.Request) (*Result, error) {
 	} else {
 		selected = st.sel.Select(msg.Words)
 	}
-	res, decoded, err := s.transmitSelected(req.User, msg.Words, selected, st.sel)
+	res, decoded, err := s.transmitSelected(sc, req.User, msg.Words, selected, st.sel)
 	if err != nil {
 		return nil, err
 	}
@@ -562,8 +568,10 @@ func (s *System) TransmitText(user string, words []string) (*Result, error) {
 	st := s.userState(user)
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	sc := mat.GetScratch()
+	defer mat.PutScratch(sc)
 	selected := st.sel.Select(words)
-	res, _, err := s.transmitSelected(user, words, selected, st.sel)
+	res, _, err := s.transmitSelected(sc, user, words, selected, st.sel)
 	if err != nil {
 		return nil, err
 	}
@@ -576,33 +584,40 @@ func (s *System) TransmitText(user string, words []string) (*Result, error) {
 }
 
 // transmitSelected runs pipeline steps 2-6 for an already-selected domain.
-// It returns the partially scored result and the decoded concepts.
-func (s *System) transmitSelected(user string, words []string, selected int, sel selection.Selector) (*Result, []int, error) {
+// It returns the partially scored result and the decoded concepts. All
+// codec-path temporaries (feature matrices, received features, concept
+// buffers) come from sc, so the steady-state codec path allocates nothing;
+// the returned concepts are backed by sc and must be consumed before the
+// scratch is released.
+func (s *System) transmitSelected(sc *mat.Scratch, user string, words []string, selected int, sel selection.Selector) (*Result, []int, error) {
 	domain := s.Corpus.Domains[selected].Name
 	sender := s.senderFor(user)
 
-	// Step 2: sender-side semantic encoding.
-	enc, err := sender.Encode(domain, user, words)
+	// Step 2: sender-side semantic encoding (one batched GEMM).
+	enc, err := sender.Encode(sc, domain, user, words)
 	if err != nil {
 		return nil, nil, err
 	}
 
 	// Step 3: physical channel. The shared noise RNG serializes here;
 	// everything compute-heavy stays outside the critical section.
+	rx := sc.Mat(enc.Features.Rows, enc.Model.Codec.FeatureDim())
 	s.linkMu.Lock()
-	rxFeats, stats := s.link.Send(enc.Features, enc.Model.Codec.FeatureDim())
+	stats := s.link.SendFlatScratch(&s.linkScratch, rx.Data, enc.Features.Data)
 	s.linkMu.Unlock()
 	airTime := time.Duration(float64(stats.Symbols) / s.symbolRateHz * float64(time.Second))
 	airTime += s.edgeLink.Latency
 
-	// Step 4: receiver-side semantic decoding.
-	dec, err := s.Receiver.Decode(domain, user, rxFeats)
+	// Step 4: receiver-side semantic decoding (batched GEMMs).
+	dec, err := s.Receiver.Decode(sc, domain, user, rx)
 	if err != nil {
 		return nil, nil, err
 	}
 
-	// Step 5: sender-side mismatch via decoder copy, buffered.
-	tx, ready, err := sender.RecordTransaction(domain, user, words)
+	// Step 5: sender-side mismatch via decoder copy, buffered. The encode
+	// result rides along so the round trip reuses the already-computed
+	// features when the decoder copy is the same model instance.
+	tx, ready, err := sender.RecordTransaction(sc, domain, user, words, &enc)
 	if err != nil {
 		return nil, nil, err
 	}

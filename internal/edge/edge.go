@@ -15,6 +15,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/fl"
 	"repro/internal/kb"
+	"repro/internal/mat"
 	"repro/internal/netsim"
 )
 
@@ -210,21 +211,25 @@ func (s *Server) Personalize(domain, user string) (*kb.Model, time.Duration, err
 // EncodeResult is the outcome of sender-side semantic encoding.
 type EncodeResult struct {
 	AcquireResult
-	// Features are the per-token semantic feature vectors.
-	Features [][]float64
+	// Features is the len(words) x FeatureDim matrix of per-token semantic
+	// feature vectors. It is backed by the scratch arena passed to Encode
+	// and must be consumed before that scratch is reset or pooled.
+	Features *mat.Dense
 	// ComputeLatency is the simulated encoding cost.
 	ComputeLatency time.Duration
 }
 
-// Encode runs semantic feature extraction for (domain, user) over words.
-func (s *Server) Encode(domain, user string, words []string) (EncodeResult, error) {
+// Encode runs semantic feature extraction for (domain, user) over words as
+// one batched GEMM. sc must be non-nil: the feature matrix is allocated
+// from it, so a warm steady-state call performs no heap allocation.
+func (s *Server) Encode(sc *mat.Scratch, domain, user string, words []string) (EncodeResult, error) {
 	acq, err := s.AcquireCodec(domain, user)
 	if err != nil {
 		return EncodeResult{}, err
 	}
 	return EncodeResult{
 		AcquireResult:  acq,
-		Features:       acq.Model.Codec.EncodeWords(words),
+		Features:       acq.Model.Codec.EncodeWordsInto(sc, words),
 		ComputeLatency: time.Duration(len(words)) * s.computePerToken,
 	}, nil
 }
@@ -232,27 +237,44 @@ func (s *Server) Encode(domain, user string, words []string) (EncodeResult, erro
 // DecodeResult is the outcome of receiver-side semantic decoding.
 type DecodeResult struct {
 	AcquireResult
-	// Concepts are the decoded domain concepts.
+	// Concepts are the decoded domain concepts, backed by the scratch
+	// arena passed to Decode.
 	Concepts []int
-	// Words are the restored canonical surface forms.
+	// Words are the restored canonical surface forms. DecodeConcepts
+	// leaves them nil; Decode fills them.
 	Words []string
 	// ComputeLatency is the simulated decoding cost.
 	ComputeLatency time.Duration
 }
 
-// Decode restores a message from received features for (domain, user).
-func (s *Server) Decode(domain, user string, feats [][]float64) (DecodeResult, error) {
+// DecodeConcepts restores the concept sequence from received features for
+// (domain, user) with batched GEMMs, without rendering surface words. sc
+// must be non-nil: concepts and all temporaries are allocated from it, so a
+// warm steady-state call performs no heap allocation.
+func (s *Server) DecodeConcepts(sc *mat.Scratch, domain, user string, feats *mat.Dense) (DecodeResult, error) {
 	acq, err := s.AcquireCodec(domain, user)
 	if err != nil {
 		return DecodeResult{}, err
 	}
-	concepts := acq.Model.Codec.DecodeFeatures(feats)
+	concepts := sc.Ints(feats.Rows)
+	acq.Model.Codec.DecodeFeaturesInto(sc, feats, concepts)
 	return DecodeResult{
 		AcquireResult:  acq,
 		Concepts:       concepts,
-		Words:          acq.Model.Codec.RestoreWords(concepts),
-		ComputeLatency: time.Duration(len(feats)) * s.computePerToken,
+		ComputeLatency: time.Duration(feats.Rows) * s.computePerToken,
 	}, nil
+}
+
+// Decode restores a message from received features for (domain, user):
+// DecodeConcepts plus the canonical surface rendering the daemon returns to
+// clients.
+func (s *Server) Decode(sc *mat.Scratch, domain, user string, feats *mat.Dense) (DecodeResult, error) {
+	res, err := s.DecodeConcepts(sc, domain, user, feats)
+	if err != nil {
+		return DecodeResult{}, err
+	}
+	res.Words = res.Model.Codec.RestoreWords(res.Concepts)
+	return res, nil
 }
 
 // RecordTransaction performs the §II-C decoder-copy mismatch calculation on
@@ -260,7 +282,13 @@ func (s *Server) Decode(domain, user string, feats [][]float64) (DecodeResult, e
 // derives ground-truth concepts from the domain KB, and stores the
 // transaction in the (user, domain) buffer. It returns the transaction and
 // whether the buffer has reached its update threshold.
-func (s *Server) RecordTransaction(domain, user string, words []string) (fl.Transaction, bool, error) {
+//
+// sc may be nil (an internal pooled scratch is used). enc, when non-nil,
+// is the EncodeResult of the same words on this server: if the acquired
+// codec is the same model instance the already-computed features are
+// reused and only the decoder half of the round trip runs. Encoding is
+// deterministic, so the recorded transaction is bit-identical either way.
+func (s *Server) RecordTransaction(sc *mat.Scratch, domain, user string, words []string, enc *EncodeResult) (fl.Transaction, bool, error) {
 	acq, err := s.AcquireCodec(domain, user)
 	if err != nil {
 		return fl.Transaction{}, false, err
@@ -278,7 +306,18 @@ func (s *Server) RecordTransaction(domain, user string, words []string) (fl.Tran
 			tx.ConceptIDs[i] = -1 // out-of-domain word: always a mismatch
 		}
 	}
-	tx.Decoded = acq.Model.Codec.RoundTrip(words)
+	if sc == nil {
+		sc = mat.GetScratch()
+		defer mat.PutScratch(sc)
+	}
+	// Decoded is retained by the buffer until the next update fires, so it
+	// lives on the heap, not in the scratch arena.
+	tx.Decoded = make([]int, len(words))
+	if enc != nil && enc.Model == acq.Model {
+		acq.Model.Codec.DecodeFeaturesInto(sc, enc.Features, tx.Decoded)
+	} else {
+		acq.Model.Codec.RoundTripInto(sc, words, tx.Decoded)
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()

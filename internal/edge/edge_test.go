@@ -161,17 +161,19 @@ func TestEncodeDecodeAcrossServers(t *testing.T) {
 	gen := corpus.NewGenerator(corp, mat.NewRNG(10))
 	m := gen.Message(corp.Domain("it").Index, nil)
 
-	enc, err := sender.Encode("it", "u1", m.Words)
+	sc := mat.GetScratch()
+	defer mat.PutScratch(sc)
+	enc, err := sender.Encode(sc, "it", "u1", m.Words)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(enc.Features) != len(m.Words) {
+	if enc.Features.Rows != len(m.Words) {
 		t.Fatal("feature count mismatch")
 	}
 	if enc.ComputeLatency != time.Duration(len(m.Words))*200*time.Microsecond {
 		t.Fatalf("compute latency = %v", enc.ComputeLatency)
 	}
-	dec, err := receiver.Decode("it", "u1", enc.Features)
+	dec, err := receiver.Decode(sc, "it", "u1", enc.Features)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +197,7 @@ func TestRecordTransactionBuffersAndSignals(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		m := gen.Message(corp.Domain("it").Index, nil)
 		var err error
-		_, ready, err = srv.RecordTransaction("it", "u1", m.Words)
+		_, ready, err = srv.RecordTransaction(nil, "it", "u1", m.Words, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -211,7 +213,7 @@ func TestRecordTransactionBuffersAndSignals(t *testing.T) {
 
 func TestRecordTransactionOutOfDomainWords(t *testing.T) {
 	srv := newServer(t, 4, nil)
-	tx, _, err := srv.RecordTransaction("it", "u1", []string{"doctor", "server"})
+	tx, _, err := srv.RecordTransaction(nil, "it", "u1", []string{"doctor", "server"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +239,7 @@ func TestUpdateRoundTripBetweenEdges(t *testing.T) {
 
 	for i := 0; i < 24; i++ {
 		m := gen.Message(corp.Domain("it").Index, idio)
-		if _, _, err := sender.RecordTransaction("it", "u1", m.Words); err != nil {
+		if _, _, err := sender.RecordTransaction(nil, "it", "u1", m.Words, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -335,7 +337,7 @@ func TestConcurrentTransactions(t *testing.T) {
 			user := string(rune('a' + g))
 			for i := 0; i < 30; i++ {
 				m := gen.Message(corp.Domain("it").Index, nil)
-				if _, _, err := srv.RecordTransaction("it", user, m.Words); err != nil {
+				if _, _, err := srv.RecordTransaction(nil, "it", user, m.Words, nil); err != nil {
 					t.Error(err)
 					return
 				}

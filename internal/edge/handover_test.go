@@ -18,7 +18,7 @@ func personalizeOn(t *testing.T, srv *Server, corp *corpus.Corpus, seed uint64) 
 	srv.bufferThreshold = 24
 	for i := 0; i < 24; i++ {
 		m := gen.Message(corp.Domain("it").Index, idio)
-		if _, _, err := srv.RecordTransaction("it", "u1", m.Words); err != nil {
+		if _, _, err := srv.RecordTransaction(nil, "it", "u1", m.Words, nil); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -97,16 +97,19 @@ func RunE8(env *Env, opts E8Options) (*E8Result, error) {
 				gen := corpus.NewGenerator(env.Corpus, mat.NewRNG(opts.Seed+uint64(u)*31))
 				user := fmt.Sprintf("u%03d", u)
 				lats := make([]time.Duration, 0, opts.MessagesPerUser)
+				sc := mat.GetScratch()
+				defer mat.PutScratch(sc)
 				for i := 0; i < opts.MessagesPerUser; i++ {
 					di := (u + i) % len(env.Corpus.Domains)
 					msg := gen.Message(di, nil)
 					t0 := time.Now()
-					enc, err := sender.Encode(msg.DomainName, user, msg.Words)
+					sc.Reset()
+					enc, err := sender.Encode(sc, msg.DomainName, user, msg.Words)
 					if err == nil {
-						_, _, err = sender.RecordTransaction(msg.DomainName, user, msg.Words)
+						_, _, err = sender.RecordTransaction(sc, msg.DomainName, user, msg.Words, &enc)
 					}
 					if err == nil {
-						_, err = receiver.Decode(msg.DomainName, user, enc.Features)
+						_, err = receiver.Decode(sc, msg.DomainName, user, enc.Features)
 					}
 					if err != nil {
 						errOnce.Do(func() { firstErr = err })

@@ -74,7 +74,13 @@ func (m *Dense) MulVec(dst, x []float64) {
 	if len(x) != m.Cols || len(dst) != m.Rows {
 		panic("mat: MulVec length mismatch")
 	}
-	ParallelFor(m.Rows, kernelGrain(m.Cols), func(lo, hi int) {
+	grain := kernelGrain(m.Cols)
+	if Parallelism() == 1 || m.Rows <= grain {
+		// Inline fast path: no closure, no scheduling.
+		m.mulVecRange(dst, x, 0, m.Rows)
+		return
+	}
+	ParallelFor(m.Rows, grain, func(lo, hi int) {
 		m.mulVecRange(dst, x, lo, hi)
 	})
 }
@@ -88,7 +94,12 @@ func (m *Dense) MulVecT(dst, x []float64) {
 	if len(x) != m.Rows || len(dst) != m.Cols {
 		panic("mat: MulVecT length mismatch")
 	}
-	ParallelFor(m.Cols, kernelGrain(m.Rows), func(lo, hi int) {
+	grain := kernelGrain(m.Rows)
+	if Parallelism() == 1 || m.Cols <= grain {
+		m.mulVecTRange(dst, x, 0, m.Cols)
+		return
+	}
+	ParallelFor(m.Cols, grain, func(lo, hi int) {
 		m.mulVecTRange(dst, x, lo, hi)
 	})
 }
@@ -101,7 +112,12 @@ func (m *Dense) AddOuter(a float64, x, y []float64) {
 	if len(x) != m.Rows || len(y) != m.Cols {
 		panic("mat: AddOuter length mismatch")
 	}
-	ParallelFor(m.Rows, kernelGrain(m.Cols), func(lo, hi int) {
+	grain := kernelGrain(m.Cols)
+	if Parallelism() == 1 || m.Rows <= grain {
+		m.addOuterRange(a, x, y, 0, m.Rows)
+		return
+	}
+	ParallelFor(m.Rows, grain, func(lo, hi int) {
 		m.addOuterRange(a, x, y, lo, hi)
 	})
 }

@@ -1,0 +1,202 @@
+package mat
+
+// This file implements the blocked matrix-matrix kernels the batched codec
+// paths run on. Every kernel shards output rows across the package worker
+// pool (ParallelFor) and keeps the EXACT serial accumulation order for each
+// individual output element, so results are bit-identical to the per-vector
+// kernels (MulVec, MulVecT, AddOuter) applied row by row — at any worker
+// count. Throughput comes not from reordering floating-point sums (which
+// would change bits) but from interleaving several independent output
+// elements' accumulation chains in the inner loop, hiding FP-add latency
+// that a single serial dot product is bound by.
+
+// MulMatT computes dst = a * bᵀ, where a is m x k, b is n x k and dst is
+// m x n: the batched forward kernel of a Linear layer (rows of a are
+// inputs, rows of b are weight rows). Each dst element is the serial dot
+// product of one a-row and one b-row — the same accumulation order as
+// MulVec — so results are bit-identical to the per-vector path. dst must
+// not alias a or b. It panics on shape mismatches.
+func MulMatT(dst, a, b *Dense) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic("mat: MulMatT shape mismatch")
+	}
+	grain := kernelGrain(a.Cols * b.Rows)
+	if Parallelism() == 1 || a.Rows <= grain {
+		// Inline fast path: no closure, no scheduling.
+		mulMatTRange(dst, a, b, nil, 0, a.Rows)
+		return
+	}
+	ParallelFor(a.Rows, grain, func(lo, hi int) {
+		mulMatTRange(dst, a, b, nil, lo, hi)
+	})
+}
+
+// MulMatTAddRow computes dst = a * bᵀ with row added to every output row:
+// the fused batched linear-layer forward. Each output element is computed
+// as (serial dot product) + row[j] — exactly the value MulMatT followed by
+// AddRowTo produces, without the second sweep over dst — so results are
+// bit-identical to the unfused pair. It panics on shape mismatches.
+func MulMatTAddRow(dst, a, b *Dense, row []float64) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic("mat: MulMatTAddRow shape mismatch")
+	}
+	if len(row) != dst.Cols {
+		panic("mat: MulMatTAddRow row length mismatch")
+	}
+	grain := kernelGrain(a.Cols * b.Rows)
+	if Parallelism() == 1 || a.Rows <= grain {
+		mulMatTRange(dst, a, b, row, 0, a.Rows)
+		return
+	}
+	ParallelFor(a.Rows, grain, func(lo, hi int) {
+		mulMatTRange(dst, a, b, row, lo, hi)
+	})
+}
+
+// mulMatTRange computes rows lo..hi of dst = a * bᵀ, adding bias[j] to
+// each finished element when bias is non-nil. For each a-row it fills four
+// output columns at a time: the four accumulator chains are independent
+// (one per output element, each in exact serial order), which keeps the
+// FPU busy where a lone serial dot would stall on add latency.
+func mulMatTRange(dst, a, b *Dense, bias []float64, lo, hi int) {
+	k := a.Cols
+	n := b.Rows
+	for i := lo; i < hi; i++ {
+		ar := a.Data[i*k : (i+1)*k]
+		out := dst.Data[i*n : (i+1)*n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			// Slicing every operand to len(ar) lets the compiler drop the
+			// per-iteration bounds checks in the dot loop.
+			b0 := b.Data[j*k:][:len(ar)]
+			b1 := b.Data[(j+1)*k:][:len(ar)]
+			b2 := b.Data[(j+2)*k:][:len(ar)]
+			b3 := b.Data[(j+3)*k:][:len(ar)]
+			var s0, s1, s2, s3 float64
+			for p, av := range ar {
+				s0 += av * b0[p]
+				s1 += av * b1[p]
+				s2 += av * b2[p]
+				s3 += av * b3[p]
+			}
+			if bias != nil {
+				// The bias lands after the full dot product, exactly like
+				// a separate AddRowTo pass, so fusion never changes bits.
+				s0 += bias[j]
+				s1 += bias[j+1]
+				s2 += bias[j+2]
+				s3 += bias[j+3]
+			}
+			out[j] = s0
+			out[j+1] = s1
+			out[j+2] = s2
+			out[j+3] = s3
+		}
+		for ; j < n; j++ {
+			br := b.Data[j*k:][:len(ar)]
+			s := 0.0
+			for p, av := range ar {
+				s += av * br[p]
+			}
+			if bias != nil {
+				s += bias[j]
+			}
+			out[j] = s
+		}
+	}
+}
+
+// MulMat computes dst = a * b, where a is m x k, b is k x n and dst is
+// m x n: the batched input-gradient kernel (dst rows are per-example
+// gradients, b is the weight matrix). Each dst element accumulates b-rows
+// in ascending order and skips zero a-elements, exactly like MulVecT, so
+// results are bit-identical to the per-vector path. dst must not alias a
+// or b. It panics on shape mismatches.
+func MulMat(dst, a, b *Dense) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("mat: MulMat shape mismatch")
+	}
+	grain := kernelGrain(a.Cols * b.Cols)
+	if Parallelism() == 1 || a.Rows <= grain {
+		mulMatRange(dst, a, b, 0, a.Rows)
+		return
+	}
+	ParallelFor(a.Rows, grain, func(lo, hi int) {
+		mulMatRange(dst, a, b, lo, hi)
+	})
+}
+
+// mulMatRange computes rows lo..hi of dst = a * b in AXPY form: out += ap *
+// b-row. The adds across one output row are independent, so the plain loop
+// already has instruction-level parallelism; the per-element order over p
+// (ascending, zeros skipped) matches mulVecTRange.
+func mulMatRange(dst, a, b *Dense, lo, hi int) {
+	k := a.Cols
+	n := b.Cols
+	for i := lo; i < hi; i++ {
+		out := dst.Data[i*n : (i+1)*n]
+		Zero(out)
+		ar := a.Data[i*k : (i+1)*k]
+		for p, ap := range ar {
+			if ap == 0 {
+				continue
+			}
+			br := b.Data[p*n : (p+1)*n]
+			for j, bv := range br {
+				out[j] += ap * bv
+			}
+		}
+	}
+}
+
+// AddOuterBatch accumulates m += a * xᵀ * y, where x is t x Rows and y is
+// t x Cols: the batched weight-gradient kernel, equivalent to calling
+// m.AddOuter(a, x.Row(i), y.Row(i)) for every row i in order. Each m
+// element accumulates examples in ascending row order and skips zero
+// coefficients, exactly like the per-vector AddOuter loop, so results are
+// bit-identical at any worker count. It panics on shape mismatches.
+func AddOuterBatch(m *Dense, a float64, x, y *Dense) {
+	if x.Rows != y.Rows || x.Cols != m.Rows || y.Cols != m.Cols {
+		panic("mat: AddOuterBatch shape mismatch")
+	}
+	grain := kernelGrain(x.Rows * m.Cols)
+	if Parallelism() == 1 || m.Rows <= grain {
+		addOuterBatchRange(m, a, x, y, 0, m.Rows)
+		return
+	}
+	ParallelFor(m.Rows, grain, func(lo, hi int) {
+		addOuterBatchRange(m, a, x, y, lo, hi)
+	})
+}
+
+// addOuterBatchRange accumulates rows lo..hi of m += a * xᵀ * y.
+func addOuterBatchRange(m *Dense, a float64, x, y *Dense, lo, hi int) {
+	t := x.Rows
+	xc := x.Cols
+	yc := y.Cols
+	for r := lo; r < hi; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		for e := 0; e < t; e++ {
+			v := a * x.Data[e*xc+r]
+			if v == 0 {
+				continue
+			}
+			yr := y.Data[e*yc : (e+1)*yc]
+			for j, yv := range yr {
+				row[j] += v * yv
+			}
+		}
+	}
+}
+
+// AddRowTo adds vector row into every row of m: the batched bias add. The
+// per-row operation is exactly AddTo, so it is bit-identical to adding the
+// bias example by example. It panics on length mismatch.
+func AddRowTo(m *Dense, row []float64) {
+	if len(row) != m.Cols {
+		panic("mat: AddRowTo length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		AddTo(m.Data[i*m.Cols:(i+1)*m.Cols], row)
+	}
+}

@@ -109,10 +109,32 @@ func kernelGrain(perIndex int) int {
 }
 
 // mulVecRange computes dst[lo:hi] of dst = m * x: the row-sharded MulVec
-// kernel body.
+// kernel body. Four rows run at a time with independent accumulator chains
+// — each output element still sums its products in exact serial order, so
+// the result is bit-identical to the one-row-at-a-time loop, but the four
+// chains interleave to hide FP-add latency.
 func (m *Dense) mulVecRange(dst, x []float64, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+	c := m.Cols
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		r0 := m.Data[i*c : i*c+c]
+		r1 := m.Data[(i+1)*c : (i+1)*c+c]
+		r2 := m.Data[(i+2)*c : (i+2)*c+c]
+		r3 := m.Data[(i+3)*c : (i+3)*c+c]
+		var s0, s1, s2, s3 float64
+		for j, xv := range x {
+			s0 += r0[j] * xv
+			s1 += r1[j] * xv
+			s2 += r2[j] * xv
+			s3 += r3[j] * xv
+		}
+		dst[i] = s0
+		dst[i+1] = s1
+		dst[i+2] = s2
+		dst[i+3] = s3
+	}
+	for ; i < hi; i++ {
+		row := m.Data[i*c : (i+1)*c]
 		s := 0.0
 		for j, w := range row {
 			s += w * x[j]

@@ -1,0 +1,85 @@
+package mat
+
+import "testing"
+
+// TestScratchReuse asserts that after a warm-up pass, repeated
+// Reset/Vec/Ints/Mat cycles hand out stable storage without allocating.
+func TestScratchReuse(t *testing.T) {
+	s := new(Scratch)
+	warm := func() {
+		s.Reset()
+		v := s.Vec(100)
+		v[0] = 1
+		m := s.Mat(8, 16)
+		m.Set(0, 0, 2)
+		w := s.Wrap(4, 25, v)
+		_ = w
+		is := s.Ints(32)
+		is[0] = 3
+	}
+	warm()
+	if RaceEnabled {
+		t.Skip("allocation accounting differs under -race")
+	}
+	if allocs := testing.AllocsPerRun(50, warm); allocs != 0 {
+		t.Fatalf("warm Scratch cycle allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestScratchGrowKeepsOldBuffers asserts that growing the arena does not
+// corrupt slices handed out before the growth.
+func TestScratchGrowKeepsOldBuffers(t *testing.T) {
+	s := new(Scratch)
+	a := s.Vec(10)
+	for i := range a {
+		a[i] = float64(i)
+	}
+	b := s.Vec(1 << 16) // forces a new backing array
+	b[0] = 99
+	for i := range a {
+		if a[i] != float64(i) {
+			t.Fatalf("pre-growth slice corrupted at %d: %v", i, a[i])
+		}
+	}
+}
+
+// TestScratchZeroRows asserts Mat tolerates empty batches.
+func TestScratchZeroRows(t *testing.T) {
+	s := new(Scratch)
+	m := s.Mat(0, 8)
+	if m.Rows != 0 || m.Cols != 8 || len(m.Data) != 0 {
+		t.Fatalf("zero-row mat = %+v", m)
+	}
+}
+
+// TestScratchDistinctBuffers asserts consecutive Vec calls return disjoint
+// storage until Reset.
+func TestScratchDistinctBuffers(t *testing.T) {
+	s := new(Scratch)
+	a := s.Vec(16)
+	b := s.Vec(16)
+	a[15] = 1
+	b[0] = 2
+	if a[15] != 1 {
+		t.Fatal("Vec buffers overlap")
+	}
+	s.Reset()
+	c := s.Vec(16)
+	c[0] = 3
+	if &c[0] != &a[0] {
+		t.Fatal("Reset did not recycle the arena")
+	}
+}
+
+// TestGetPutScratch exercises the package pool round trip.
+func TestGetPutScratch(t *testing.T) {
+	s := GetScratch()
+	v := s.Vec(8)
+	v[0] = 1
+	PutScratch(s)
+	s2 := GetScratch()
+	if s2.off != 0 || s2.nmat != 0 {
+		t.Fatalf("pooled scratch not reset: off=%d nmat=%d", s2.off, s2.nmat)
+	}
+	PutScratch(s2)
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package mat
+
+// RaceEnabled reports whether the race detector is compiled in. Allocation
+// regression tests consult it: the detector instruments allocations, so
+// testing.AllocsPerRun budgets only hold in non-race builds.
+const RaceEnabled = true

@@ -59,6 +59,33 @@ func (l *Linear) Forward(dst, x []float64) {
 	mat.AddTo(dst, l.B.Row(0))
 }
 
+// ForwardBatch computes dst = x*Wᵀ + b for a batch: row i of dst is the
+// layer output for row i of x. It is bit-identical to calling Forward on
+// each row in order (each output element keeps the serial dot-product
+// accumulation order), at any worker count. dst must not alias x.
+func (l *Linear) ForwardBatch(dst, x *mat.Dense) {
+	mat.MulMatTAddRow(dst, x, l.W, l.B.Row(0))
+}
+
+// BackwardBatch accumulates parameter gradients for a batch of examples and
+// computes per-example input gradients. It is bit-identical to calling
+// Backward on each (x, dy) row pair in ascending order: every gradient
+// element accumulates examples in exactly that order.
+//
+//	x      — batch inputs, one example per row
+//	dy     — batch output gradients, aligned with x
+//	gW, gB — gradient accumulators shaped like W and B
+//	dx     — batch input-gradient buffer (may be nil to skip)
+func (l *Linear) BackwardBatch(x, dy *mat.Dense, gW, gB *mat.Dense, dx *mat.Dense) {
+	mat.AddOuterBatch(gW, 1, dy, x)
+	for i := 0; i < dy.Rows; i++ {
+		mat.AddTo(gB.Row(0), dy.Row(i))
+	}
+	if dx != nil {
+		mat.MulMat(dx, dy, l.W)
+	}
+}
+
 // Backward accumulates parameter gradients for one example and computes the
 // gradient with respect to the input.
 //

@@ -173,31 +173,70 @@ func (c *Codec) EncodeSurfaceID(id int, dst []float64) {
 	if len(dst) != c.cfg.FeatureDim {
 		panic("semantic: EncodeSurfaceID dst length mismatch")
 	}
-	if id < 0 || id >= c.emb.Vocab() {
-		id = corpus.UnknownSurfaceID
-	}
-	c.enc.Forward(dst, c.emb.Lookup(id))
+	c.enc.Forward(dst, c.embeddingRow(id))
 	nn.TanhForward(dst, dst)
 }
 
-// tokenGrain is the minimum number of tokens per worker when sharding a
-// single message across the compute pool: typical chat-length messages stay
-// serial, long firehose inputs shard.
-const tokenGrain = 256
+// embeddingRow returns the embedding for id, clamping out-of-lexicon IDs to
+// the unknown surface.
+func (c *Codec) embeddingRow(id int) []float64 {
+	if id < 0 || id >= c.emb.Vocab() {
+		id = corpus.UnknownSurfaceID
+	}
+	return c.emb.Lookup(id)
+}
+
+// packSurfaceEmbeddings gathers the embeddings of the given surface IDs
+// into an n x EmbedDim scratch matrix (row order = id order).
+func (c *Codec) packSurfaceEmbeddings(sc *mat.Scratch, ids []int) *mat.Dense {
+	x := sc.Mat(len(ids), c.cfg.EmbedDim)
+	for i, id := range ids {
+		copy(x.Row(i), c.embeddingRow(id))
+	}
+	return x
+}
+
+// encodeWordsTo runs the batched encoder over words, writing the per-token
+// features into dst (len(words) x FeatureDim): one gather of the token
+// embeddings, one GEMM, one tanh sweep. Temporaries come from sc.
+func (c *Codec) encodeWordsTo(sc *mat.Scratch, dst *mat.Dense, words []string) {
+	x := sc.Mat(len(words), c.cfg.EmbedDim)
+	for i, w := range words {
+		copy(x.Row(i), c.embeddingRow(c.domain.SurfaceID(w)))
+	}
+	c.enc.ForwardBatch(dst, x)
+	nn.TanhForward(dst.Data, dst.Data)
+}
+
+// EncodeWordsInto encodes a token sequence into a len(words) x FeatureDim
+// feature matrix allocated from sc: the zero-allocation batched encode used
+// by the steady-state serving path. Words outside the domain lexicon encode
+// as the unknown surface. The result is bit-identical to per-token
+// EncodeSurfaceID calls at any worker count; it is owned by sc and must be
+// consumed before the scratch is reset or returned to the pool.
+func (c *Codec) EncodeWordsInto(sc *mat.Scratch, words []string) *mat.Dense {
+	dst := sc.Mat(len(words), c.cfg.FeatureDim)
+	c.encodeWordsTo(sc, dst, words)
+	return dst
+}
 
 // EncodeWords encodes a token sequence into per-token feature vectors.
 // Words outside the domain lexicon encode as the unknown surface. Encoding
-// only reads the codec, so it is safe to call concurrently; long sequences
-// shard tokens across the mat worker pool.
+// only reads the codec, so it is safe to call concurrently. The returned
+// vectors are rows of one batched GEMM result, bit-identical to per-token
+// encoding.
 func (c *Codec) EncodeWords(words []string) [][]float64 {
 	feats := make([][]float64, len(words))
-	mat.ParallelFor(len(words), tokenGrain, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			f := make([]float64, c.cfg.FeatureDim)
-			c.EncodeSurfaceID(c.domain.SurfaceID(words[i]), f)
-			feats[i] = f
-		}
-	})
+	if len(words) == 0 {
+		return feats
+	}
+	sc := mat.GetScratch()
+	defer mat.PutScratch(sc)
+	dst := mat.NewDense(len(words), c.cfg.FeatureDim)
+	c.encodeWordsTo(sc, dst, words)
+	for i := range feats {
+		feats[i] = dst.Row(i)
+	}
 	return feats
 }
 
@@ -219,26 +258,55 @@ func (c *Codec) EncodeBatch(msgs [][]string) [][][]float64 {
 const batchGrain = 8
 
 // DecodeFeature returns the most likely concept index for one feature
-// vector.
+// vector. Scratch comes from the package pool, so steady-state calls are
+// allocation-free.
 func (c *Codec) DecodeFeature(feat []float64) int {
-	h := make([]float64, c.cfg.HiddenDim)
-	c.dec.Forward(h, feat)
-	nn.TanhForward(h, h)
-	logits := make([]float64, c.domain.NumConcepts())
-	c.out.Forward(logits, h)
-	return mat.Argmax(logits)
+	sc := mat.GetScratch()
+	defer mat.PutScratch(sc)
+	var dst [1]int
+	c.DecodeFeaturesInto(sc, sc.Wrap(1, len(feat), feat), dst[:])
+	return dst[0]
+}
+
+// DecodeFeaturesInto decodes a feats.Rows x FeatureDim feature matrix into
+// concept indices written to dst (length feats.Rows): two batched GEMMs
+// (hidden, logits) and an argmax sweep, with all temporaries drawn from sc.
+// It is the zero-allocation batched decode used by the steady-state serving
+// path and is bit-identical to per-token DecodeFeature calls at any worker
+// count.
+func (c *Codec) DecodeFeaturesInto(sc *mat.Scratch, feats *mat.Dense, dst []int) {
+	if len(dst) != feats.Rows {
+		panic("semantic: DecodeFeaturesInto dst length mismatch")
+	}
+	h := sc.Mat(feats.Rows, c.cfg.HiddenDim)
+	c.dec.ForwardBatch(h, feats)
+	nn.TanhForward(h.Data, h.Data)
+	logits := sc.Mat(feats.Rows, c.domain.NumConcepts())
+	c.out.ForwardBatch(logits, h)
+	for i := 0; i < feats.Rows; i++ {
+		dst[i] = mat.Argmax(logits.Row(i))
+	}
 }
 
 // DecodeFeatures decodes a feature sequence into concept indices. Decoding
-// only reads the codec, so it is safe to call concurrently; long sequences
-// shard tokens across the mat worker pool.
+// only reads the codec, so it is safe to call concurrently. The sequence is
+// packed into one matrix and decoded with batched GEMMs, bit-identical to
+// per-token decoding.
 func (c *Codec) DecodeFeatures(feats [][]float64) []int {
 	out := make([]int, len(feats))
-	mat.ParallelFor(len(feats), tokenGrain, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out[i] = c.DecodeFeature(feats[i])
+	if len(feats) == 0 {
+		return out
+	}
+	sc := mat.GetScratch()
+	defer mat.PutScratch(sc)
+	d := sc.Mat(len(feats), c.cfg.FeatureDim)
+	for i, f := range feats {
+		if len(f) != c.cfg.FeatureDim {
+			panic("semantic: DecodeFeatures feature length mismatch")
 		}
-	})
+		copy(d.Row(i), f)
+	}
+	c.DecodeFeaturesInto(sc, d, out)
 	return out
 }
 
@@ -265,11 +333,26 @@ func (c *Codec) RestoreWords(concepts []int) []string {
 	return out
 }
 
+// RoundTripInto encodes then decodes words with no channel in between,
+// writing the decoded concepts into dst (length len(words)). All
+// temporaries come from sc, so steady-state calls allocate nothing.
+func (c *Codec) RoundTripInto(sc *mat.Scratch, words []string, dst []int) {
+	c.DecodeFeaturesInto(sc, c.EncodeWordsInto(sc, words), dst)
+}
+
 // RoundTrip encodes then decodes words with no channel in between; it is
 // the sender-edge "decoder copy" computation from the paper's §II-C used
-// for mismatch calculation.
+// for mismatch calculation. One scratch arena from the package pool backs
+// the whole round trip instead of per-token buffers.
 func (c *Codec) RoundTrip(words []string) []int {
-	return c.DecodeFeatures(c.EncodeWords(words))
+	out := make([]int, len(words))
+	if len(words) == 0 {
+		return out
+	}
+	sc := mat.GetScratch()
+	defer mat.PutScratch(sc)
+	c.RoundTripInto(sc, words, out)
+	return out
 }
 
 // Validate performs internal shape consistency checks, returning an error

@@ -1,0 +1,145 @@
+package semantic
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/mat"
+	"repro/internal/nn"
+)
+
+// trainExamples builds a deterministic example set whose size is NOT a
+// multiple of the minibatch, so the partial trailing batch is exercised.
+func trainExamples(corp *corpus.Corpus, n int) []Example {
+	d := corp.Domain("it")
+	gen := corpus.NewGenerator(corp, mat.NewRNG(77))
+	var out []Example
+	for _, m := range gen.Batch(d.Index, 64, nil) {
+		out = append(out, ExamplesFromMessage(d, m)...)
+	}
+	return out[:n]
+}
+
+// TestTrainEpochMatchesReference asserts the batched GEMM TrainEpoch
+// produces bitwise-identical parameters, loss and accuracy to the
+// historical per-example loop, at 1, 2 and 8 workers, for both optimizers
+// and with and without noise.
+func TestTrainEpochMatchesReference(t *testing.T) {
+	corp := corpus.Build()
+	base := NewCodec(corp.Domain("it"), Config{Seed: 9})
+	examples := trainExamples(corp, 83) // 83 = 10 full batches + tail of 3
+
+	prev := mat.Parallelism()
+	defer mat.SetParallelism(prev)
+
+	for _, tc := range []struct {
+		name     string
+		noiseStd float64
+		opt      func() nn.Optimizer
+	}{
+		{"adam_noise", 0.2, func() nn.Optimizer { return &nn.Adam{LR: 0.03, Clip: 5} }},
+		{"sgd_noiseless", 0, func() nn.Optimizer { return &nn.SGD{LR: 0.01, Momentum: 0.5, Clip: 5} }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			mat.SetParallelism(1)
+			ref := base.Clone()
+			wantRes := trainEpochReference(ref, examples, tc.opt(), mat.NewRNG(31), tc.noiseStd)
+			want := ref.Params()
+
+			for _, workers := range []int{1, 2, 8} {
+				mat.SetParallelism(workers)
+				got := base.Clone()
+				gotRes := got.TrainEpoch(examples, tc.opt(), mat.NewRNG(31), tc.noiseStd)
+				if gotRes != wantRes {
+					t.Fatalf("%d workers: TrainResult %+v, want %+v", workers, gotRes, wantRes)
+				}
+				gp := got.Params()
+				for i := range want.Params {
+					wm, gm := want.Params[i].M, gp.Params[i].M
+					for j := range wm.Data {
+						if gm.Data[j] != wm.Data[j] {
+							t.Fatalf("%d workers: tensor %q element %d = %v, want %v",
+								workers, want.Params[i].Name, j, gm.Data[j], wm.Data[j])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEncodeDecodeGEMMMatchesPerToken asserts the batched encode/decode
+// entry points are bit-identical to the per-token EncodeSurfaceID /
+// single-vector decode path at 1, 2 and 8 workers.
+func TestEncodeDecodeGEMMMatchesPerToken(t *testing.T) {
+	corp, codec := sharedFixtures(t)
+	msgs := batchMessages(corp, 12)
+
+	prev := mat.Parallelism()
+	defer mat.SetParallelism(prev)
+
+	for _, words := range msgs {
+		// Per-token reference path.
+		mat.SetParallelism(1)
+		wantFeats := make([][]float64, len(words))
+		for i, w := range words {
+			f := make([]float64, codec.FeatureDim())
+			codec.EncodeSurfaceID(codec.Domain().SurfaceID(w), f)
+			wantFeats[i] = f
+		}
+		wantConcepts := make([]int, len(words))
+		for i, f := range wantFeats {
+			wantConcepts[i] = codec.DecodeFeature(f)
+		}
+
+		for _, workers := range []int{1, 2, 8} {
+			mat.SetParallelism(workers)
+			sc := mat.GetScratch()
+			feats := codec.EncodeWordsInto(sc, words)
+			for i := range words {
+				for j, v := range wantFeats[i] {
+					if feats.At(i, j) != v {
+						t.Fatalf("%d workers: feature (%d,%d) = %v, want %v", workers, i, j, feats.At(i, j), v)
+					}
+				}
+			}
+			got := make([]int, len(words))
+			codec.DecodeFeaturesInto(sc, feats, got)
+			for i := range got {
+				if got[i] != wantConcepts[i] {
+					t.Fatalf("%d workers: concept %d = %d, want %d", workers, i, got[i], wantConcepts[i])
+				}
+			}
+			// RoundTripInto must agree with encode-then-decode.
+			sc.Reset()
+			rt := make([]int, len(words))
+			codec.RoundTripInto(sc, words, rt)
+			for i := range rt {
+				if rt[i] != wantConcepts[i] {
+					t.Fatalf("%d workers: roundtrip concept %d = %d, want %d", workers, i, rt[i], wantConcepts[i])
+				}
+			}
+			mat.PutScratch(sc)
+		}
+	}
+}
+
+// TestEvaluateMatchesPerExample asserts the chunked batched Evaluate equals
+// the per-example encode/decode accuracy, across chunk boundaries.
+func TestEvaluateMatchesPerExample(t *testing.T) {
+	corp, codec := sharedFixtures(t)
+	examples := trainExamples(corp, 300) // straddles the 256-example chunk
+
+	feat := make([]float64, codec.FeatureDim())
+	correct := 0
+	for _, ex := range examples {
+		codec.EncodeSurfaceID(ex.SurfaceID, feat)
+		if codec.DecodeFeature(feat) == ex.ConceptID {
+			correct++
+		}
+	}
+	want := float64(correct) / float64(len(examples))
+	if got := codec.Evaluate(examples); got != want {
+		t.Fatalf("Evaluate = %v, want %v", got, want)
+	}
+}

@@ -29,9 +29,21 @@ type TrainResult struct {
 	Accuracy float64
 }
 
+// trainBatch is the minibatch size: the optimizer steps once per
+// trainBatch examples, with the trailing partial batch stepped on its own
+// (matching the historical per-example loop's boundaries exactly).
+const trainBatch = 8
+
 // TrainEpoch runs one stochastic epoch over examples, updating the codec's
 // parameters in place through opt. rng drives example shuffling and the
 // denoising feature noise; noiseStd <= 0 disables noise injection.
+//
+// Each minibatch runs as batched matrix-matrix products (embedding gather,
+// encoder GEMM, decoder GEMMs, batched backward). Every gradient element
+// accumulates examples in ascending minibatch order and the noise RNG is
+// consumed in the same example-major order as the per-example loop, so the
+// parameter stream is bit-identical to the historical implementation at any
+// worker count.
 func (c *Codec) TrainEpoch(examples []Example, opt nn.Optimizer, rng *mat.RNG, noiseStd float64) TrainResult {
 	params := c.Params()
 	grads := params.ZeroClone()
@@ -43,71 +55,92 @@ func (c *Codec) TrainEpoch(examples []Example, opt nn.Optimizer, rng *mat.RNG, n
 	gOutW := grads.ByName(ParamOutW)
 	gOutB := grads.ByName(ParamOutB)
 
-	F, H := c.cfg.FeatureDim, c.cfg.HiddenDim
+	E, F, H := c.cfg.EmbedDim, c.cfg.FeatureDim, c.cfg.HiddenDim
 	V := c.domain.NumConcepts()
-	pre := make([]float64, F)     // encoder pre-activation
-	feat := make([]float64, F)    // tanh feature
-	noisy := make([]float64, F)   // channel-noised feature
-	hPre := make([]float64, H)    // decoder pre-activation
-	h := make([]float64, H)       // decoder hidden
-	logits := make([]float64, V)  // concept logits
-	dLogits := make([]float64, V) // CE gradient
-	dH := make([]float64, H)
-	dFeat := make([]float64, F)
-	dEmb := make([]float64, c.cfg.EmbedDim)
+	sc := mat.GetScratch()
+	defer mat.PutScratch(sc)
+	// Full-size minibatch buffers; the trailing partial batch reuses their
+	// storage through row-limited views.
+	x := sc.Mat(trainBatch, E)       // gathered token embeddings
+	pre := sc.Mat(trainBatch, F)     // encoder pre-activation
+	feat := sc.Mat(trainBatch, F)    // tanh feature
+	noisy := sc.Mat(trainBatch, F)   // channel-noised feature
+	hPre := sc.Mat(trainBatch, H)    // decoder pre-activation
+	h := sc.Mat(trainBatch, H)       // decoder hidden
+	logits := sc.Mat(trainBatch, V)  // concept logits
+	dLogits := sc.Mat(trainBatch, V) // CE gradient
+	dH := sc.Mat(trainBatch, H)
+	dFeat := sc.Mat(trainBatch, F)
+	dX := sc.Mat(trainBatch, E)
+	sids := sc.Ints(trainBatch)
 
 	order := rng.Perm(len(examples))
 	totalLoss := 0.0
 	correct := 0
-	const batch = 8
-	inBatch := 0
-	for _, oi := range order {
-		ex := examples[oi]
-		// Forward: encoder.
-		x := c.emb.Lookup(ex.SurfaceID)
-		c.enc.Forward(pre, x)
-		nn.TanhForward(feat, pre)
-		// Channel-noise injection (denoising training).
-		copy(noisy, feat)
+	for start := 0; start < len(order); start += trainBatch {
+		n := min(trainBatch, len(order)-start)
+		xB, preB, featB, noisyB := x, pre, feat, noisy
+		hPreB, hB, logitsB, dLogitsB := hPre, h, logits, dLogits
+		dHB, dFeatB, dXB := dH, dFeat, dX
+		if n < trainBatch {
+			xB = sc.Wrap(n, E, x.Data[:n*E])
+			preB = sc.Wrap(n, F, pre.Data[:n*F])
+			featB = sc.Wrap(n, F, feat.Data[:n*F])
+			noisyB = sc.Wrap(n, F, noisy.Data[:n*F])
+			hPreB = sc.Wrap(n, H, hPre.Data[:n*H])
+			hB = sc.Wrap(n, H, h.Data[:n*H])
+			logitsB = sc.Wrap(n, V, logits.Data[:n*V])
+			dLogitsB = sc.Wrap(n, V, dLogits.Data[:n*V])
+			dHB = sc.Wrap(n, H, dH.Data[:n*H])
+			dFeatB = sc.Wrap(n, F, dFeat.Data[:n*F])
+			dXB = sc.Wrap(n, E, dX.Data[:n*E])
+		}
+		// Forward: encoder over the gathered minibatch.
+		for t := 0; t < n; t++ {
+			ex := examples[order[start+t]]
+			sids[t] = ex.SurfaceID
+			copy(xB.Row(t), c.emb.Lookup(ex.SurfaceID))
+		}
+		c.enc.ForwardBatch(preB, xB)
+		nn.TanhForward(featB.Data, preB.Data)
+		// Channel-noise injection (denoising training), drawn in
+		// example-major order: the exact RNG stream of the serial loop.
+		copy(noisyB.Data, featB.Data)
 		if noiseStd > 0 {
-			for i := range noisy {
-				noisy[i] += noiseStd * rng.NormFloat64()
+			for i := range noisyB.Data {
+				noisyB.Data[i] += noiseStd * rng.NormFloat64()
 			}
 		}
 		// Forward: decoder.
-		c.dec.Forward(hPre, noisy)
-		nn.TanhForward(h, hPre)
-		c.out.Forward(logits, h)
-		if mat.Argmax(logits) == ex.ConceptID {
-			correct++
+		c.dec.ForwardBatch(hPreB, noisyB)
+		nn.TanhForward(hB.Data, hPreB.Data)
+		c.out.ForwardBatch(logitsB, hB)
+		for t := 0; t < n; t++ {
+			ex := examples[order[start+t]]
+			if mat.Argmax(logitsB.Row(t)) == ex.ConceptID {
+				correct++
+			}
+			totalLoss += nn.SoftmaxCrossEntropy(dLogitsB.Row(t), logitsB.Row(t), ex.ConceptID)
 		}
-		totalLoss += nn.SoftmaxCrossEntropy(dLogits, logits, ex.ConceptID)
 		// Backward: decoder.
-		c.out.Backward(h, dLogits, gOutW, gOutB, dH)
-		nn.TanhBackward(dH, h, dH)
-		c.dec.Backward(noisy, dH, gDecW, gDecB, dFeat)
+		c.out.BackwardBatch(hB, dLogitsB, gOutW, gOutB, dHB)
+		nn.TanhBackward(dHB.Data, hB.Data, dHB.Data)
+		c.dec.BackwardBatch(noisyB, dHB, gDecW, gDecB, dFeatB)
 		// Backward through the (noise-free) tanh feature into the encoder.
-		nn.TanhBackward(dFeat, feat, dFeat)
-		c.enc.Backward(x, dFeat, gEncW, gEncB, dEmb)
-		c.emb.AccumulateGrad(gEmb, ex.SurfaceID, dEmb)
-
-		inBatch++
-		if inBatch == batch {
-			scaleGrads(grads, 1/float64(batch))
-			opt.Step(params, grads)
-			grads.Zero()
-			inBatch = 0
+		nn.TanhBackward(dFeatB.Data, featB.Data, dFeatB.Data)
+		c.enc.BackwardBatch(xB, dFeatB, gEncW, gEncB, dXB)
+		for t := 0; t < n; t++ {
+			c.emb.AccumulateGrad(gEmb, sids[t], dXB.Row(t))
 		}
-	}
-	if inBatch > 0 {
-		scaleGrads(grads, 1/float64(inBatch))
+		scaleGrads(grads, 1/float64(n))
 		opt.Step(params, grads)
+		grads.Zero()
 	}
-	n := float64(len(examples))
-	if n == 0 {
+	nEx := float64(len(examples))
+	if nEx == 0 {
 		return TrainResult{}
 	}
-	return TrainResult{MeanLoss: totalLoss / n, Accuracy: float64(correct) / n}
+	return TrainResult{MeanLoss: totalLoss / nEx, Accuracy: float64(correct) / nEx}
 }
 
 // scaleGrads multiplies every gradient tensor by s.
@@ -117,18 +150,40 @@ func scaleGrads(grads *nn.ParamSet, s float64) {
 	}
 }
 
+// evalChunk bounds the scratch footprint of Evaluate: examples stream
+// through the batched encode/decode pipeline this many at a time.
+const evalChunk = 256
+
 // Evaluate measures reconstruction concept accuracy over examples without
-// updating parameters and without noise.
+// updating parameters and without noise. Examples run through the batched
+// GEMM pipeline in fixed-size chunks over one reused scratch arena instead
+// of allocating per-example feature/hidden/logit buffers; the decoded
+// concepts (and therefore the accuracy) are bit-identical to the
+// per-example path.
 func (c *Codec) Evaluate(examples []Example) float64 {
 	if len(examples) == 0 {
 		return 0
 	}
+	sc := mat.GetScratch()
+	defer mat.PutScratch(sc)
 	correct := 0
-	feat := make([]float64, c.cfg.FeatureDim)
-	for _, ex := range examples {
-		c.EncodeSurfaceID(ex.SurfaceID, feat)
-		if c.DecodeFeature(feat) == ex.ConceptID {
-			correct++
+	for start := 0; start < len(examples); start += evalChunk {
+		sc.Reset()
+		n := min(evalChunk, len(examples)-start)
+		chunk := examples[start : start+n]
+		ids := sc.Ints(n)
+		for t, ex := range chunk {
+			ids[t] = ex.SurfaceID
+		}
+		feats := sc.Mat(n, c.cfg.FeatureDim)
+		c.enc.ForwardBatch(feats, c.packSurfaceEmbeddings(sc, ids))
+		nn.TanhForward(feats.Data, feats.Data)
+		decoded := sc.Ints(n)
+		c.DecodeFeaturesInto(sc, feats, decoded)
+		for t, ex := range chunk {
+			if decoded[t] == ex.ConceptID {
+				correct++
+			}
 		}
 	}
 	return float64(correct) / float64(len(examples))

@@ -1,0 +1,89 @@
+package semantic
+
+import (
+	"repro/internal/mat"
+	"repro/internal/nn"
+)
+
+// trainEpochReference is the pre-GEMM per-example training loop, preserved
+// verbatim as the bit-identity reference for the batched TrainEpoch: one
+// example at a time through Forward/Backward with fresh per-call scratch
+// slices, stepping the optimizer every 8 examples. The batched
+// implementation must reproduce its parameter stream bit for bit.
+func trainEpochReference(c *Codec, examples []Example, opt nn.Optimizer, rng *mat.RNG, noiseStd float64) TrainResult {
+	params := c.Params()
+	grads := params.ZeroClone()
+	gEmb := grads.ByName(ParamEncEmb)
+	gEncW := grads.ByName(ParamEncW)
+	gEncB := grads.ByName(ParamEncB)
+	gDecW := grads.ByName(ParamDecW)
+	gDecB := grads.ByName(ParamDecB)
+	gOutW := grads.ByName(ParamOutW)
+	gOutB := grads.ByName(ParamOutB)
+
+	F, H := c.cfg.FeatureDim, c.cfg.HiddenDim
+	V := c.domain.NumConcepts()
+	pre := make([]float64, F)     // encoder pre-activation
+	feat := make([]float64, F)    // tanh feature
+	noisy := make([]float64, F)   // channel-noised feature
+	hPre := make([]float64, H)    // decoder pre-activation
+	h := make([]float64, H)       // decoder hidden
+	logits := make([]float64, V)  // concept logits
+	dLogits := make([]float64, V) // CE gradient
+	dH := make([]float64, H)
+	dFeat := make([]float64, F)
+	dEmb := make([]float64, c.cfg.EmbedDim)
+
+	order := rng.Perm(len(examples))
+	totalLoss := 0.0
+	correct := 0
+	const batch = 8
+	inBatch := 0
+	for _, oi := range order {
+		ex := examples[oi]
+		// Forward: encoder.
+		x := c.emb.Lookup(ex.SurfaceID)
+		c.enc.Forward(pre, x)
+		nn.TanhForward(feat, pre)
+		// Channel-noise injection (denoising training).
+		copy(noisy, feat)
+		if noiseStd > 0 {
+			for i := range noisy {
+				noisy[i] += noiseStd * rng.NormFloat64()
+			}
+		}
+		// Forward: decoder.
+		c.dec.Forward(hPre, noisy)
+		nn.TanhForward(h, hPre)
+		c.out.Forward(logits, h)
+		if mat.Argmax(logits) == ex.ConceptID {
+			correct++
+		}
+		totalLoss += nn.SoftmaxCrossEntropy(dLogits, logits, ex.ConceptID)
+		// Backward: decoder.
+		c.out.Backward(h, dLogits, gOutW, gOutB, dH)
+		nn.TanhBackward(dH, h, dH)
+		c.dec.Backward(noisy, dH, gDecW, gDecB, dFeat)
+		// Backward through the (noise-free) tanh feature into the encoder.
+		nn.TanhBackward(dFeat, feat, dFeat)
+		c.enc.Backward(x, dFeat, gEncW, gEncB, dEmb)
+		c.emb.AccumulateGrad(gEmb, ex.SurfaceID, dEmb)
+
+		inBatch++
+		if inBatch == batch {
+			scaleGrads(grads, 1/float64(batch))
+			opt.Step(params, grads)
+			grads.Zero()
+			inBatch = 0
+		}
+	}
+	if inBatch > 0 {
+		scaleGrads(grads, 1/float64(inBatch))
+		opt.Step(params, grads)
+	}
+	n := float64(len(examples))
+	if n == 0 {
+		return TrainResult{}
+	}
+	return TrainResult{MeanLoss: totalLoss / n, Accuracy: float64(correct) / n}
+}
