@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/channel"
@@ -604,30 +605,36 @@ func BenchmarkTransmitThroughput(b *testing.B) {
 }
 
 // BenchmarkConcurrentTransmit measures ONE shared System under parallel
-// load from 8 distinct users against a single sequential client — the
-// serve-path scaling the edged daemon relies on. Unlike
-// BenchmarkTransmitThroughput/parallel (one independent system per
-// processor), this exercises the per-user sharded state of a single
-// deployment: on a multi-core runner 8users should sustain >= 2x the
-// 1user throughput.
+// load from distinct users — the serve-path scaling the edged daemon
+// relies on. Unlike BenchmarkTransmitThroughput/parallel (one independent
+// system per processor), this exercises the per-user sharded state of a
+// single deployment, at every batch window in {off, 50µs, 200µs} and
+// every user count in {1, 8, 32}. The window-0 cells keep their
+// historical names (1user, 8users) so the CI baseline gate keeps
+// tracking them; the batched cells are the tentpole's headline: at 32
+// users a non-zero window should beat window-0 well past 1.5x.
 func BenchmarkConcurrentTransmit(b *testing.B) {
 	env := experiments.Environment()
-	const users = 8
-	newSystem := func() *core.System {
+	const maxUsers = 32
+	newSystem := func(window time.Duration) *core.System {
 		sys, err := core.NewSystem(core.Config{
 			Selector:          core.SelectorSticky,
 			PinGeneral:        true,
 			DisableAutoUpdate: true,
 			Pretrained:        env.Generals,
+			BatchWindow:       window,
 		})
 		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Sender.Prefetch(sys.Corpus.Names()); err != nil {
 			b.Fatal(err)
 		}
 		return sys
 	}
 	// Pre-generate one deterministic message stream per user.
 	gen := corpus.NewGenerator(env.Corpus, mat.NewRNG(17))
-	streams := make([][][]string, users)
+	streams := make([][][]string, maxUsers)
 	for u := range streams {
 		seq := make([][]string, 64)
 		for i := range seq {
@@ -635,25 +642,16 @@ func BenchmarkConcurrentTransmit(b *testing.B) {
 		}
 		streams[u] = seq
 	}
-	b.Run("1user", func(b *testing.B) {
-		sys := newSystem()
-		if _, err := sys.Sender.Prefetch(sys.Corpus.Names()); err != nil {
-			b.Fatal(err)
-		}
-		b.ResetTimer()
+	serial := func(b *testing.B, sys *core.System) {
 		for i := 0; i < b.N; i++ {
 			if _, err := sys.TransmitText("u0", streams[0][i%64]); err != nil {
 				b.Fatal(err)
 			}
 		}
-	})
-	b.Run("8users", func(b *testing.B) {
-		sys := newSystem()
-		if _, err := sys.Sender.Prefetch(sys.Corpus.Names()); err != nil {
-			b.Fatal(err)
-		}
+	}
+	concurrent := func(b *testing.B, sys *core.System, users int) {
 		// RunParallel spawns GOMAXPROCS*p goroutines; pick p so at least
-		// 8 run, one user each (cycling when there are more).
+		// `users` run, one user each (cycling when there are more).
 		p := (users + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0)
 		b.SetParallelism(p)
 		var next atomic.Int64
@@ -671,7 +669,34 @@ func BenchmarkConcurrentTransmit(b *testing.B) {
 				i++
 			}
 		})
-	})
+	}
+	windows := []struct {
+		name string
+		d    time.Duration
+	}{
+		{"", 0}, // historical names: 1user, 8users, 32users
+		{"window50us/", 50 * time.Microsecond},
+		{"window200us/", 200 * time.Microsecond},
+	}
+	for _, w := range windows {
+		for _, users := range []int{1, 8, 32} {
+			name := fmt.Sprintf("%s%duser", w.name, users)
+			if users > 1 {
+				name += "s"
+			}
+			users := users
+			window := w.d
+			b.Run(name, func(b *testing.B) {
+				sys := newSystem(window)
+				b.ResetTimer()
+				if users == 1 {
+					serial(b, sys)
+					return
+				}
+				concurrent(b, sys, users)
+			})
+		}
+	}
 }
 
 // BenchmarkCodecFineTune measures one update-process fine-tune (the

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
-	"net"
 	"strconv"
 	"testing"
 
@@ -53,11 +52,11 @@ func fold(digest *uint64, parts ...string) {
 // digest plus the observed handover count.
 func mobilityRun(t *testing.T, addr string, users, requests, cells int, moveRate float64, seed uint64) (uint64, int) {
 	t.Helper()
-	conn, err := net.Dial("tcp", addr)
+	cl, err := rpc.Dial(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer conn.Close()
+	defer cl.Close()
 	corp := corpus.Build()
 	root := mat.NewRNG(seed)
 	sched := root.Split()
@@ -72,10 +71,7 @@ func mobilityRun(t *testing.T, addr string, users, requests, cells int, moveRate
 		user := fmt.Sprintf("u%03d", u)
 		if sched.Float64() < moveRate {
 			cell := sched.Intn(cells)
-			if err := rpc.Write(conn, &rpc.Request{Op: rpc.OpMove, User: user, Cell: cell}); err != nil {
-				t.Fatal(err)
-			}
-			resp, err := rpc.ReadResponse(conn)
+			resp, err := cl.Move(user, cell)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -94,10 +90,7 @@ func mobilityRun(t *testing.T, addr string, users, requests, cells int, moveRate
 		// update process fires, individual models form, and handovers have
 		// real payloads to migrate.
 		msg := gens[u].Message(u%len(corp.Domains), nil)
-		if err := rpc.Write(conn, &rpc.Request{Op: rpc.OpTransmit, User: user, Text: msg.Text()}); err != nil {
-			t.Fatal(err)
-		}
-		resp, err := rpc.ReadResponse(conn)
+		resp, err := cl.Transmit(user, msg.Text())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -115,19 +108,16 @@ func mobilityRun(t *testing.T, addr string, users, requests, cells int, moveRate
 // clusterStats fetches the daemon's stats snapshot.
 func clusterStats(t *testing.T, addr string) *rpc.Stats {
 	t.Helper()
-	conn, err := net.Dial("tcp", addr)
+	cl, err := rpc.Dial(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer conn.Close()
-	if err := rpc.Write(conn, &rpc.Request{Op: rpc.OpStats}); err != nil {
+	defer cl.Close()
+	st, err := cl.Stats()
+	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := rpc.ReadResponse(conn)
-	if err != nil || !resp.OK || resp.Stats == nil {
-		t.Fatalf("stats failed: %+v, %v", resp, err)
-	}
-	return resp.Stats
+	return st
 }
 
 // TestClusterMobilityDeterministicRun is the acceptance run: the semload
@@ -182,15 +172,12 @@ func TestClusterStatsShape(t *testing.T) {
 	addr, shutdown := startClusterServer(t)
 	defer shutdown()
 	// One transmit so counters move.
-	conn, err := net.Dial("tcp", addr)
+	cl, err := rpc.Dial(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer conn.Close()
-	if err := rpc.Write(conn, &rpc.Request{Op: rpc.OpTransmit, User: "u1", Text: "the server restarted after the patch"}); err != nil {
-		t.Fatal(err)
-	}
-	if resp, err := rpc.ReadResponse(conn); err != nil || !resp.OK {
+	defer cl.Close()
+	if resp, err := cl.Transmit("u1", "the server restarted after the patch"); err != nil || !resp.OK {
 		t.Fatalf("transmit failed: %+v, %v", resp, err)
 	}
 	st := clusterStats(t, addr)
@@ -215,15 +202,12 @@ func TestClusterStatsShape(t *testing.T) {
 	}
 	soloAddr, soloShutdown := startServer(t, newServer(sys, 0))
 	defer soloShutdown()
-	soloConn, err := net.Dial("tcp", soloAddr)
+	soloCl, err := rpc.Dial(soloAddr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer soloConn.Close()
-	if err := rpc.Write(soloConn, &rpc.Request{Op: rpc.OpMove, User: "u1", Cell: 1}); err != nil {
-		t.Fatal(err)
-	}
-	resp, err := rpc.ReadResponse(soloConn)
+	defer soloCl.Close()
+	resp, err := soloCl.Move("u1", 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,7 +5,14 @@
 //
 // Connections dispatch directly into the concurrent core.System: requests
 // from different users run in parallel, bounded by the -max-inflight gate;
-// requests from one user serialize inside the system.
+// requests from one user serialize inside the system. Requests that queue
+// at the gate longer than -shed-after (or their own deadline hint) are
+// shed with an error instead of served late.
+//
+// With -batch-window > 0 concurrent transmits are dynamically batched:
+// in-flight requests sharing a codec run as one fused GEMM pass per
+// layer, bit-identical per request to solo serving (see
+// internal/core/batch.go).
 //
 // With -nodes N the sender side becomes an N-node edge cluster: users are
 // routed to nodes by consistent hashing, the "move" op relocates a user
@@ -90,6 +97,9 @@ func run() error {
 		maxInflight = flag.Int("max-inflight", 0, "max concurrently served transmits (0 = 2x GOMAXPROCS, <0 = unlimited)")
 		idleTimeout = flag.Duration("idle-timeout", 5*time.Minute, "per-connection read deadline; 0 disables")
 		writeFlag   = flag.Duration("write-timeout", 30*time.Second, "per-response write deadline; 0 disables")
+		batchWindow = flag.Duration("batch-window", 0, "cross-request batching window (e.g. 50us); 0 disables batching")
+		batchTokens = flag.Int("batch-max-tokens", 0, "flush a collecting batch at this many tokens (0 = default budget)")
+		shedAfter   = flag.Duration("shed-after", 0, "shed transmits queued at the -max-inflight gate longer than this; 0 = only shed on client deadlines")
 	)
 	flag.Parse()
 	if *workers > 0 {
@@ -108,11 +118,13 @@ func run() error {
 	}
 
 	cfg := core.Config{
-		Selector:   *selector,
-		SNRdB:      *snr,
-		PinGeneral: true,
-		Seed:       *seed,
-		Nodes:      *nodes,
+		Selector:       *selector,
+		SNRdB:          *snr,
+		PinGeneral:     true,
+		Seed:           *seed,
+		Nodes:          *nodes,
+		BatchWindow:    *batchWindow,
+		BatchMaxTokens: *batchTokens,
 	}
 	start := time.Now()
 	if *kbDir != "" {
@@ -149,9 +161,13 @@ func run() error {
 	}
 	log.Printf("edged: listening on %s", ln.Addr())
 
+	if *batchWindow > 0 {
+		log.Printf("edged: cross-request batching on (window %v)", *batchWindow)
+	}
 	srv := newServer(sys, *maxInflight)
 	srv.idleTimeout = *idleTimeout
 	srv.writeTimeout = *writeFlag
+	srv.shedAfter = *shedAfter
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
@@ -166,14 +182,17 @@ func run() error {
 // global serialization. A bounded gate caps concurrently served transmits
 // so load spikes queue at the door instead of oversubscribing the host.
 type server struct {
-	sys      *core.System
-	messages atomic.Int64
-	inflight atomic.Int64
-	gate     chan struct{} // nil = unlimited
-	latency  *metrics.Histogram
+	sys       *core.System
+	messages  atomic.Int64
+	inflight  atomic.Int64
+	shed      atomic.Int64
+	gate      chan struct{} // nil = unlimited
+	latency   *metrics.Histogram
+	queueWait *metrics.Histogram
 
 	idleTimeout  time.Duration // read deadline between requests
 	writeTimeout time.Duration // deadline per response write
+	shedAfter    time.Duration // server-side admission-queue patience; 0 = none
 }
 
 // newServer wraps sys. maxInflight 0 selects 2x GOMAXPROCS; negative
@@ -182,7 +201,11 @@ func newServer(sys *core.System, maxInflight int) *server {
 	if maxInflight == 0 {
 		maxInflight = 2 * runtime.GOMAXPROCS(0)
 	}
-	s := &server{sys: sys, latency: metrics.NewLatencyHistogram()}
+	s := &server{
+		sys:       sys,
+		latency:   metrics.NewLatencyHistogram(),
+		queueWait: metrics.NewLatencyHistogram(),
+	}
 	if maxInflight > 0 {
 		s.gate = make(chan struct{}, maxInflight)
 	}
@@ -260,14 +283,25 @@ func (s *server) dispatch(req *rpc.Request) *rpc.Response {
 // stats snapshots the daemon counters; in cluster mode the sender-side
 // numbers aggregate every node and per-node detail rides along.
 func (s *server) stats() *rpc.Stats {
+	serve := &rpc.ServeStats{
+		InFlight:       int(s.inflight.Load()),
+		LatencyP50Ms:   s.latency.P(50),
+		LatencyP95Ms:   s.latency.P(95),
+		LatencyP99Ms:   s.latency.P(99),
+		QueueWaitP50Ms: s.queueWait.P(50),
+		QueueWaitP95Ms: s.queueWait.P(95),
+		QueueWaitP99Ms: s.queueWait.P(99),
+		Shed:           s.shed.Load(),
+	}
+	bs := s.sys.BatchStats()
+	serve.Batches = bs.Batches
+	serve.BatchedRequests = bs.BatchedRequests
+	serve.BatchOccupancy = bs.Occupancy
 	st := &rpc.Stats{
-		Messages:     int(s.messages.Load()),
-		SyncBytes:    s.sys.SyncBytes(),
-		SyncCount:    s.sys.SyncCount(),
-		InFlight:     int(s.inflight.Load()),
-		LatencyP50Ms: s.latency.P(50),
-		LatencyP95Ms: s.latency.P(95),
-		LatencyP99Ms: s.latency.P(99),
+		Messages:  int(s.messages.Load()),
+		SyncBytes: s.sys.SyncBytes(),
+		SyncCount: s.sys.SyncCount(),
+		Serve:     serve,
 	}
 	if s.sys.Cluster == nil {
 		cs := s.sys.Sender.CacheStats()
@@ -325,6 +359,51 @@ func (s *server) move(req *rpc.Request) *rpc.Response {
 	}}
 }
 
+// shedLimit derives the admission-queue patience for one request: the
+// tighter of the client's deadline hint and the server's -shed-after
+// policy. Zero means wait indefinitely.
+func (s *server) shedLimit(deadlineMs float64) time.Duration {
+	limit := s.shedAfter
+	if deadlineMs > 0 {
+		d := time.Duration(deadlineMs * float64(time.Millisecond))
+		if limit <= 0 || d < limit {
+			limit = d
+		}
+	}
+	return limit
+}
+
+// admit claims a slot at the -max-inflight gate, observing queue wait. A
+// request that cannot be admitted within its shed limit is rejected with
+// a Shed response instead of queueing unboundedly: under saturation the
+// daemon degrades by refusing late work, not by serving everything late.
+func (s *server) admit(req *rpc.Request) *rpc.Response {
+	select {
+	case s.gate <- struct{}{}:
+		s.queueWait.Observe(0)
+		return nil
+	default:
+	}
+	start := time.Now()
+	if limit := s.shedLimit(req.DeadlineMs); limit > 0 {
+		timer := time.NewTimer(limit)
+		select {
+		case s.gate <- struct{}{}:
+			timer.Stop()
+		case <-timer.C:
+			s.shed.Add(1)
+			return &rpc.Response{
+				Shed:  true,
+				Error: fmt.Sprintf("shed: queued %v at admission gate", limit),
+			}
+		}
+	} else {
+		s.gate <- struct{}{}
+	}
+	s.queueWait.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	return nil
+}
+
 // transmit serves one message through the pipeline, metering service time.
 func (s *server) transmit(req *rpc.Request) *rpc.Response {
 	user := req.User
@@ -336,7 +415,9 @@ func (s *server) transmit(req *rpc.Request) *rpc.Response {
 		return &rpc.Response{Error: "empty message"}
 	}
 	if s.gate != nil {
-		s.gate <- struct{}{}
+		if shed := s.admit(req); shed != nil {
+			return shed
+		}
 		defer func() { <-s.gate }()
 	}
 	s.inflight.Add(1)

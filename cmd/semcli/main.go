@@ -14,8 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net"
 	"os"
+	"strings"
 
 	"repro/internal/rpc"
 )
@@ -29,45 +29,56 @@ func main() {
 
 func run() error {
 	var (
-		addr  = flag.String("addr", "localhost:7060", "edged address")
-		user  = flag.String("user", "cli", "user name (drives individual models)")
-		text  = flag.String("text", "", "message to transmit (default: read lines from stdin)")
-		stats = flag.Bool("stats", false, "print daemon statistics and exit")
+		addr     = flag.String("addr", "localhost:7060", "edged address")
+		user     = flag.String("user", "cli", "user name (drives individual models)")
+		text     = flag.String("text", "", "message to transmit (default: read lines from stdin)")
+		deadline = flag.Duration("deadline", 0, "per-request deadline, forwarded to the daemon's admission gate (0 = none)")
+		stats    = flag.Bool("stats", false, "print daemon statistics and exit")
 	)
 	flag.Parse()
 
-	conn, err := net.Dial("tcp", *addr)
+	cl, err := rpc.Dial(*addr)
 	if err != nil {
 		return err
 	}
-	defer conn.Close()
+	defer cl.Close()
 
 	if *stats {
-		if err := rpc.Write(conn, &rpc.Request{Op: rpc.OpStats}); err != nil {
-			return err
-		}
-		resp, err := rpc.ReadResponse(conn)
+		s, err := cl.Stats()
 		if err != nil {
 			return err
 		}
-		if !resp.OK {
-			return fmt.Errorf("daemon error: %s", resp.Error)
-		}
-		s := resp.Stats
 		fmt.Printf("messages:      %d\n", s.Messages)
 		fmt.Printf("sender hits:   %.1f%%\n", 100*s.SenderHitRate)
 		fmt.Printf("cached models: %d (%d bytes)\n", s.CachedModels, s.CacheUsedBytes)
 		fmt.Printf("decoder syncs: %d (%d bytes)\n", s.SyncCount, s.SyncBytes)
+		if sv := s.Serve; sv != nil {
+			fmt.Printf("in-flight:     %d (%d shed)\n", sv.InFlight, sv.Shed)
+			fmt.Printf("service:       p50 %.2f ms  p95 %.2f ms  p99 %.2f ms\n",
+				sv.LatencyP50Ms, sv.LatencyP95Ms, sv.LatencyP99Ms)
+			fmt.Printf("queue wait:    p50 %.2f ms  p95 %.2f ms  p99 %.2f ms\n",
+				sv.QueueWaitP50Ms, sv.QueueWaitP95Ms, sv.QueueWaitP99Ms)
+			if sv.Batches > 0 {
+				parts := make([]string, 0, len(sv.BatchOccupancy))
+				for i, n := range sv.BatchOccupancy {
+					if n > 0 {
+						parts = append(parts, fmt.Sprintf("%s:%d", rpc.BatchOccupancyLabels[i], n))
+					}
+				}
+				fmt.Printf("batches:       %d (%d requests, occupancy %s)\n",
+					sv.Batches, sv.BatchedRequests, strings.Join(parts, " "))
+			}
+		}
 		return nil
 	}
 
 	send := func(msg string) error {
-		if err := rpc.Write(conn, &rpc.Request{Op: rpc.OpTransmit, User: *user, Text: msg}); err != nil {
-			return err
-		}
-		resp, err := rpc.ReadResponse(conn)
+		resp, err := cl.TransmitDeadline(*user, msg, *deadline)
 		if err != nil {
 			return err
+		}
+		if resp.Shed {
+			return fmt.Errorf("request shed by daemon: %s", resp.Error)
 		}
 		if !resp.OK {
 			return fmt.Errorf("daemon error: %s", resp.Error)

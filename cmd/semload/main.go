@@ -5,8 +5,13 @@
 // request budget drains. It reports client-side throughput and a latency
 // histogram, then the daemon's own counters.
 //
-// With -mobility it instead runs the cluster churn scenario against an
-// edged started with -nodes N: one serial deterministic request stream in
+// With -sweep it instead runs a saturation sweep: the same closed loop at
+// each user count in the list, one summary line per stage, so the knee of
+// the throughput curve (and the onset of shedding under -deadline) is
+// visible in one run.
+//
+// With -mobility it runs the cluster churn scenario against an edged
+// started with -nodes N: one serial deterministic request stream in
 // which users roam across radio cells (OpMove) between transmits, so
 // handovers and cooperative cache fetches happen under load. The run
 // prints a 64-bit digest over every response; two runs with the same
@@ -15,7 +20,8 @@
 // Usage:
 //
 //	semload [-addr localhost:7060] [-users 8] [-requests 512] \
-//	        [-mix it:3,med:1] [-seed 1]
+//	        [-mix it:3,med:1] [-seed 1] [-deadline 50ms]
+//	semload -sweep 1,4,8,16,32 [-requests 512] ...
 //	semload -mobility [-cells 3] [-move-rate 0.1] ...
 package main
 
@@ -25,7 +31,6 @@ import (
 	"hash/fnv"
 	"log"
 	"math"
-	"net"
 	"runtime"
 	"sort"
 	"strconv"
@@ -97,43 +102,133 @@ func pickDomain(rng *mat.RNG, cum []float64) int {
 	return len(cum) - 1
 }
 
+// parseSweep parses "1,4,8,32" into positive user counts.
+func parseSweep(s string) ([]int, error) {
+	var stages []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad sweep stage %q", part)
+		}
+		stages = append(stages, n)
+	}
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("sweep %q has no stages", s)
+	}
+	return stages, nil
+}
+
 // userLoop is one closed-loop client: claim a request from the shared
 // budget, send it on the sticky connection, wait for the response, repeat.
+// A non-zero deadline is applied per call and forwarded to the daemon's
+// admission gate, so requests queued past it come back as Shed.
 func userLoop(addr, user string, rng *mat.RNG, corp *corpus.Corpus, cum []float64,
-	budget *atomic.Int64, hist *metrics.Histogram, sent []atomic.Int64, errs *atomic.Int64) error {
-	conn, err := net.Dial("tcp", addr)
+	deadline time.Duration, budget *atomic.Int64, hist *metrics.Histogram,
+	sent []atomic.Int64, errs, shed *atomic.Int64) error {
+	cl, err := rpc.Dial(addr)
 	if err != nil {
 		return fmt.Errorf("%s: dial: %w", user, err)
 	}
-	defer conn.Close()
+	defer cl.Close()
 	gen := corpus.NewGenerator(corp, rng)
 	for budget.Add(-1) >= 0 {
 		di := pickDomain(rng, cum)
 		msg := gen.Message(di, nil)
 		start := time.Now()
-		if err := rpc.Write(conn, &rpc.Request{Op: rpc.OpTransmit, User: user, Text: msg.Text()}); err != nil {
-			return fmt.Errorf("%s: write: %w", user, err)
-		}
-		resp, err := rpc.ReadResponse(conn)
+		resp, err := cl.TransmitDeadline(user, msg.Text(), deadline)
 		if err != nil {
-			return fmt.Errorf("%s: read: %w", user, err)
+			return fmt.Errorf("%s: transmit: %w", user, err)
 		}
 		hist.Observe(float64(time.Since(start)) / float64(time.Millisecond))
 		sent[di].Add(1)
-		if !resp.OK {
+		switch {
+		case resp.Shed:
+			shed.Add(1)
+		case !resp.OK:
 			errs.Add(1)
 		}
 	}
 	return nil
 }
 
+// loadResult is one closed-loop run's client-side outcome.
+type loadResult struct {
+	done      int64
+	errs      int64
+	shed      int64
+	elapsed   time.Duration
+	hist      *metrics.Histogram
+	sent      []atomic.Int64
+	memBefore runtime.MemStats
+	memAfter  runtime.MemStats
+}
+
+// loadRun drains one request budget across `users` closed-loop clients.
+// Per-user RNGs split in user order from one seeded root, so a run is
+// reproducible for any fixed (seed, users).
+func loadRun(addr string, users, requests int, deadline time.Duration,
+	seed uint64, corp *corpus.Corpus, cum []float64) (*loadResult, error) {
+	root := mat.NewRNG(seed)
+	rngs := make([]*mat.RNG, users)
+	for i := range rngs {
+		rngs[i] = root.Split()
+	}
+
+	res := &loadResult{
+		hist: metrics.NewLatencyHistogram(),
+		sent: make([]atomic.Int64, len(corp.Domains)),
+	}
+	var (
+		budget  atomic.Int64
+		errs    atomic.Int64
+		shed    atomic.Int64
+		loopErr error
+		errMu   sync.Mutex
+		wg      sync.WaitGroup
+	)
+	budget.Store(int64(requests))
+
+	runtime.ReadMemStats(&res.memBefore)
+	start := time.Now()
+	for u := 0; u < users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			user := fmt.Sprintf("u%03d", u)
+			if err := userLoop(addr, user, rngs[u], corp, cum, deadline, &budget, res.hist, res.sent, &errs, &shed); err != nil {
+				errMu.Lock()
+				if loopErr == nil {
+					loopErr = err
+				}
+				errMu.Unlock()
+			}
+		}(u)
+	}
+	wg.Wait()
+	res.elapsed = time.Since(start)
+	runtime.ReadMemStats(&res.memAfter)
+	if loopErr != nil {
+		return nil, loopErr
+	}
+	res.errs = errs.Load()
+	res.shed = shed.Load()
+	res.done = res.hist.N()
+	return res, nil
+}
+
 func run() error {
 	var (
 		addr     = flag.String("addr", "localhost:7060", "edged address")
 		users    = flag.Int("users", 8, "concurrent users, one sticky connection each")
-		requests = flag.Int("requests", 512, "total request budget across all users")
+		requests = flag.Int("requests", 512, "total request budget across all users (per stage with -sweep)")
 		mix      = flag.String("mix", "", "domain mix as name:weight,... (default uniform over all domains)")
 		seed     = flag.Uint64("seed", 1, "deterministic seed; user u gets the u-th split")
+		deadline = flag.Duration("deadline", 0, "per-request deadline, forwarded to the daemon's admission gate (0 = none)")
+		sweep    = flag.String("sweep", "", "saturation sweep: comma-separated user counts, one closed-loop stage each")
 		mobility = flag.Bool("mobility", false, "run the serial mobility scenario against a cluster-mode edged (-nodes)")
 		cells    = flag.Int("cells", 3, "radio cells users roam across (with -mobility)")
 		moveRate = flag.Float64("move-rate", 0.1, "per-request probability a user moves to a random cell (with -mobility)")
@@ -161,64 +256,32 @@ func run() error {
 		cum[i] = sum
 	}
 
-	// Per-user RNGs split in user order from one seeded root, so a run is
-	// reproducible for any fixed (-seed, -users).
-	root := mat.NewRNG(*seed)
-	rngs := make([]*mat.RNG, *users)
-	for i := range rngs {
-		rngs[i] = root.Split()
+	if *sweep != "" {
+		stages, err := parseSweep(*sweep)
+		if err != nil {
+			return err
+		}
+		return runSweep(*addr, stages, *requests, *deadline, *seed, corp, cum)
 	}
 
-	var (
-		budget  atomic.Int64
-		errs    atomic.Int64
-		hist    = metrics.NewLatencyHistogram()
-		sent    = make([]atomic.Int64, len(corp.Domains))
-		loopErr error
-		errMu   sync.Mutex
-		wg      sync.WaitGroup
-	)
-	budget.Store(int64(*requests))
-
-	var memBefore runtime.MemStats
-	runtime.ReadMemStats(&memBefore)
-	start := time.Now()
-	for u := 0; u < *users; u++ {
-		wg.Add(1)
-		go func(u int) {
-			defer wg.Done()
-			user := fmt.Sprintf("u%03d", u)
-			if err := userLoop(*addr, user, rngs[u], corp, cum, &budget, hist, sent, &errs); err != nil {
-				errMu.Lock()
-				if loopErr == nil {
-					loopErr = err
-				}
-				errMu.Unlock()
-			}
-		}(u)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-	var memAfter runtime.MemStats
-	runtime.ReadMemStats(&memAfter)
-	if loopErr != nil {
-		return loopErr
+	res, err := loadRun(*addr, *users, *requests, *deadline, *seed, corp, cum)
+	if err != nil {
+		return err
 	}
 
-	done := hist.N()
-	fmt.Printf("requests : %d ok, %d daemon errors, %d users, %.2fs\n",
-		done-errs.Load(), errs.Load(), *users, elapsed.Seconds())
-	fmt.Printf("rate     : %.1f req/s (closed loop)\n", float64(done)/elapsed.Seconds())
+	fmt.Printf("requests : %d ok, %d daemon errors, %d shed, %d users, %.2fs\n",
+		res.done-res.errs-res.shed, res.errs, res.shed, *users, res.elapsed.Seconds())
+	fmt.Printf("rate     : %.1f req/s (closed loop)\n", float64(res.done)/res.elapsed.Seconds())
 	fmt.Printf("latency  : mean %.2f ms  p50 %.2f ms  p95 %.2f ms  p99 %.2f ms\n",
-		hist.Mean(), hist.P(50), hist.P(95), hist.P(99))
-	memReport(&memBefore, &memAfter, int(done))
+		res.hist.Mean(), res.hist.P(50), res.hist.P(95), res.hist.P(99))
+	memReport(&res.memBefore, &res.memAfter, int(res.done))
 	type dc struct {
 		name string
 		n    int64
 	}
 	mixed := make([]dc, 0, len(corp.Domains))
-	for i := range sent {
-		if n := sent[i].Load(); n > 0 {
+	for i := range res.sent {
+		if n := res.sent[i].Load(); n > 0 {
 			mixed = append(mixed, dc{corp.Domains[i].Name, n})
 		}
 	}
@@ -231,6 +294,27 @@ func run() error {
 
 	// Close with the daemon's own view of the run.
 	printDaemonStats(*addr)
+	return nil
+}
+
+// runSweep drives one closed-loop stage per user count and prints a
+// compact table: the stage where rate stops scaling (or shedding starts
+// under -deadline) is the daemon's saturation point. Stage s runs with
+// seed+s so stages do not replay identical traffic at a warming cache.
+func runSweep(addr string, stages []int, requests int, deadline time.Duration,
+	seed uint64, corp *corpus.Corpus, cum []float64) error {
+	fmt.Printf("%7s %10s %9s %9s %9s %6s %6s\n",
+		"users", "req/s", "p50 ms", "p95 ms", "p99 ms", "shed", "errs")
+	for s, n := range stages {
+		res, err := loadRun(addr, n, requests, deadline, seed+uint64(s), corp, cum)
+		if err != nil {
+			return fmt.Errorf("sweep stage %d users: %w", n, err)
+		}
+		fmt.Printf("%7d %10.1f %9.2f %9.2f %9.2f %6d %6d\n",
+			n, float64(res.done)/res.elapsed.Seconds(),
+			res.hist.P(50), res.hist.P(95), res.hist.P(99), res.shed, res.errs)
+	}
+	printDaemonStats(addr)
 	return nil
 }
 
@@ -254,21 +338,33 @@ func memReport(before, after *runtime.MemStats, requests int) {
 // printDaemonStats fetches and prints the daemon counters (best-effort:
 // the client-side report is already out).
 func printDaemonStats(addr string) {
-	conn, err := net.Dial("tcp", addr)
+	cl, err := rpc.Dial(addr)
 	if err != nil {
 		return
 	}
-	defer conn.Close()
-	if err := rpc.Write(conn, &rpc.Request{Op: rpc.OpStats}); err != nil {
+	defer cl.Close()
+	s, err := cl.Stats()
+	if err != nil {
 		return
 	}
-	resp, err := rpc.ReadResponse(conn)
-	if err != nil || !resp.OK || resp.Stats == nil {
-		return
+	fmt.Printf("daemon   : %d messages, hit %.1f%%\n", s.Messages, 100*s.SenderHitRate)
+	if sv := s.Serve; sv != nil {
+		fmt.Printf("serve    : in-flight %d, %d shed, service p50 %.2f ms p95 %.2f ms p99 %.2f ms, queue p50 %.2f ms p95 %.2f ms p99 %.2f ms\n",
+			sv.InFlight, sv.Shed,
+			sv.LatencyP50Ms, sv.LatencyP95Ms, sv.LatencyP99Ms,
+			sv.QueueWaitP50Ms, sv.QueueWaitP95Ms, sv.QueueWaitP99Ms)
+		if sv.Batches > 0 {
+			parts := make([]string, 0, len(sv.BatchOccupancy))
+			for i, n := range sv.BatchOccupancy {
+				if n > 0 {
+					parts = append(parts, fmt.Sprintf("%s:%d", rpc.BatchOccupancyLabels[i], n))
+				}
+			}
+			fmt.Printf("batches  : %d batches, %d requests batched (%.2f avg), occupancy %s\n",
+				sv.Batches, sv.BatchedRequests,
+				float64(sv.BatchedRequests)/float64(sv.Batches), strings.Join(parts, " "))
+		}
 	}
-	s := resp.Stats
-	fmt.Printf("daemon   : %d messages, hit %.1f%%, in-flight %d, service p50 %.2f ms p95 %.2f ms p99 %.2f ms\n",
-		s.Messages, 100*s.SenderHitRate, s.InFlight, s.LatencyP50Ms, s.LatencyP95Ms, s.LatencyP99Ms)
 	fmt.Printf("syncs    : %d decoder updates, %d bytes\n", s.SyncCount, s.SyncBytes)
 	if len(s.Nodes) == 0 {
 		return
@@ -318,11 +414,11 @@ func runMobility(addr string, users, requests, cells int, moveRate float64, seed
 		cum[i] = sum
 	}
 
-	conn, err := net.Dial("tcp", addr)
+	cl, err := rpc.Dial(addr)
 	if err != nil {
 		return err
 	}
-	defer conn.Close()
+	defer cl.Close()
 
 	// One scheduler stream for user order and mobility, one generator
 	// stream per user, all split in fixed order from the root seed.
@@ -348,10 +444,7 @@ func runMobility(addr string, users, requests, cells int, moveRate float64, seed
 		user := fmt.Sprintf("u%03d", u)
 		if sched.Float64() < moveRate {
 			cell := sched.Intn(cells)
-			if err := rpc.Write(conn, &rpc.Request{Op: rpc.OpMove, User: user, Cell: cell}); err != nil {
-				return fmt.Errorf("move %s: %w", user, err)
-			}
-			resp, err := rpc.ReadResponse(conn)
+			resp, err := cl.Move(user, cell)
 			if err != nil {
 				return fmt.Errorf("move %s: %w", user, err)
 			}
@@ -373,12 +466,9 @@ func runMobility(addr string, users, requests, cells int, moveRate float64, seed
 		di := pickDomain(sched, cum)
 		msg := gens[u].Message(di, nil)
 		reqStart := time.Now()
-		if err := rpc.Write(conn, &rpc.Request{Op: rpc.OpTransmit, User: user, Text: msg.Text()}); err != nil {
-			return fmt.Errorf("%s: write: %w", user, err)
-		}
-		resp, err := rpc.ReadResponse(conn)
+		resp, err := cl.Transmit(user, msg.Text())
 		if err != nil {
-			return fmt.Errorf("%s: read: %w", user, err)
+			return fmt.Errorf("%s: transmit: %w", user, err)
 		}
 		hist.Observe(float64(time.Since(reqStart)) / float64(time.Millisecond))
 		if !resp.OK {

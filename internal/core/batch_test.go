@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/mat"
+	"repro/internal/semantic"
+)
+
+// batchTestPretrained trains the small shared codec set once per test
+// binary: every system in these tests clones it instead of retraining.
+var batchTestPretrained struct {
+	once   sync.Once
+	codecs []*semantic.Codec
+}
+
+// batchTestConfig is the fixed scenario for batched-vs-solo comparisons:
+// sticky selection, pinned generals, ample cache, and a small update
+// threshold so fine-tuning fires inside the run.
+func batchTestConfig() Config {
+	batchTestPretrained.once.Do(func() {
+		batchTestPretrained.codecs = semantic.PretrainAll(corpus.Build(), semantic.Config{
+			EmbedDim:   12,
+			FeatureDim: 6,
+			HiddenDim:  16,
+			Epochs:     2,
+			Sentences:  200,
+			Seed:       7,
+		})
+	})
+	return Config{
+		Selector:        SelectorSticky,
+		PinGeneral:      true,
+		BufferThreshold: 8,
+		Seed:            7,
+		Pretrained:      batchTestPretrained.codecs,
+	}
+}
+
+// batchUserMessages builds each user's fixed message stream: user u
+// sticks to domain u mod len(domains), seeded per user.
+func batchUserMessages(corp *corpus.Corpus, users, perUser int) [][][]string {
+	out := make([][][]string, users)
+	for u := range out {
+		gen := corpus.NewGenerator(corp, mat.NewRNG(uint64(3000+u)))
+		msgs := make([][]string, perUser)
+		for i := range msgs {
+			msgs[i] = gen.Message(u%len(corp.Domains), nil).Words
+		}
+		out[u] = msgs
+	}
+	return out
+}
+
+// hashNoiseFreeResult digests every Result field that does not depend on
+// channel-noise draws. Noise comes from one shared RNG in global arrival
+// order (a documented property of concurrent serving, independent of
+// batching), so RestoredWords — the only noise-dependent field — stays
+// out of the digest; everything else, including the decoder-copy
+// Mismatch, latency accounting and the update-process outcomes, must be
+// bit-identical between solo and batched serving.
+func hashNoiseFreeResult(h hash.Hash, res *Result) {
+	fmt.Fprintf(h, "%d|%g|%d|%d|%d|%t|%t|%t|%t|%d\n",
+		res.SelectedDomain, res.Mismatch, res.PayloadBytes, res.Symbols,
+		res.Latency.Nanoseconds(), res.EncCacheHit, res.DecCacheHit,
+		res.UsedIndividual, res.UpdateFired, res.UpdateBytes)
+}
+
+// prefetchAll warms both edges with every general model so no run pays an
+// interleaving-dependent fetch latency.
+func prefetchAll(t *testing.T, s *System) {
+	t.Helper()
+	domains := make([]string, len(s.Corpus.Domains))
+	for i, d := range s.Corpus.Domains {
+		domains[i] = d.Name
+	}
+	if _, err := s.Sender.Prefetch(domains); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Receiver.Prefetch(domains); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// userDigests runs every user's stream against s — concurrently when
+// parallel is set — and returns one noise-free digest per user.
+func userDigests(t *testing.T, s *System, streams [][][]string, parallel bool) []uint64 {
+	t.Helper()
+	digests := make([]uint64, len(streams))
+	run := func(u int) error {
+		h := fnv.New64a()
+		user := fmt.Sprintf("user%d", u)
+		for _, words := range streams[u] {
+			res, err := s.TransmitText(user, words)
+			if err != nil {
+				return err
+			}
+			hashNoiseFreeResult(h, res)
+		}
+		digests[u] = h.Sum64()
+		return nil
+	}
+	if !parallel {
+		for u := range streams {
+			if err := run(u); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return digests
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(streams))
+	for u := range streams {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			if err := run(u); err != nil {
+				errCh <- err
+			}
+		}(u)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	return digests
+}
+
+// TestBatchedMatchesSoloGolden is the tentpole invariant: per-user result
+// streams under cross-request batching are bit-identical to solo serving,
+// at any mat worker count and any batch window.
+func TestBatchedMatchesSoloGolden(t *testing.T) {
+	const users, perUser = 6, 16
+	solo, err := NewSystem(batchTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := batchUserMessages(solo.Corpus, users, perUser)
+	prefetchAll(t, solo)
+	want := userDigests(t, solo, streams, false)
+
+	prevWorkers := mat.Parallelism()
+	defer mat.SetParallelism(prevWorkers)
+
+	for _, workers := range []int{1, 2, 8} {
+		for _, window := range []time.Duration{50 * time.Microsecond, 200 * time.Microsecond} {
+			mat.SetParallelism(workers)
+			cfg := batchTestConfig()
+			cfg.BatchWindow = window
+			s, err := NewSystem(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prefetchAll(t, s)
+			got := userDigests(t, s, streams, true)
+			for u := range got {
+				if got[u] != want[u] {
+					t.Fatalf("workers=%d window=%v: user %d batched digest %016x != solo %016x",
+						workers, window, u, got[u], want[u])
+				}
+			}
+			st := s.BatchStats()
+			if st.BatchedRequests != int64(users*perUser) {
+				t.Fatalf("workers=%d window=%v: %d requests batched, want %d",
+					workers, window, st.BatchedRequests, users*perUser)
+			}
+			if st.Batches <= 0 || st.Batches > st.BatchedRequests {
+				t.Fatalf("implausible batch count %d for %d requests", st.Batches, st.BatchedRequests)
+			}
+		}
+	}
+}
+
+// TestBatchTokenCapFlushes asserts a full token budget flushes the batch
+// immediately instead of waiting out a long window.
+func TestBatchTokenCapFlushes(t *testing.T) {
+	cfg := batchTestConfig()
+	cfg.BatchWindow = 5 * time.Second // would dwarf the test timeout if waited out
+	cfg.BatchMaxTokens = 1            // every submission fills the budget
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefetchAll(t, s)
+	gen := corpus.NewGenerator(s.Corpus, mat.NewRNG(42))
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		if _, err := s.TransmitText("solo", gen.Message(0, nil).Words); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > cfg.BatchWindow {
+		t.Fatalf("token-capped batches took %v: window not short-circuited", elapsed)
+	}
+	st := s.BatchStats()
+	if st.Batches != 4 || st.Occupancy[0] != 4 {
+		t.Fatalf("stats = %+v, want 4 singleton batches", st)
+	}
+}
+
+// TestBatchStatsOff asserts the zero-value snapshot with batching off.
+func TestBatchStatsOff(t *testing.T) {
+	s, err := NewSystem(batchTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BatchingEnabled() {
+		t.Fatal("batching enabled without BatchWindow")
+	}
+	if st := s.BatchStats(); st != (BatchStats{}) {
+		t.Fatalf("stats = %+v, want zero", st)
+	}
+}
+
+// TestOccBucket pins the occupancy histogram bucketing.
+func TestOccBucket(t *testing.T) {
+	want := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4, 17: 5, 100: 5}
+	for n, bucket := range want {
+		if got := occBucket(n); got != bucket {
+			t.Fatalf("occBucket(%d) = %d, want %d", n, got, bucket)
+		}
+	}
+}

@@ -121,6 +121,17 @@ type Config struct {
 	// Transmit; callers then invoke ProcessUpdate explicitly.
 	DisableAutoUpdate bool
 
+	// BatchWindow enables cross-request dynamic batching when > 0: an
+	// in-flight transmit waits up to this long for others to share one
+	// fused encode/decode GEMM pass with (see internal/core/batch.go).
+	// Zero keeps the solo per-request path. Per-request outputs are
+	// bit-identical either way.
+	BatchWindow time.Duration
+	// BatchMaxTokens flushes a collecting batch early once its total
+	// token count reaches this budget; 0 selects DefaultBatchMaxTokens.
+	// Only meaningful with BatchWindow > 0.
+	BatchMaxTokens int
+
 	// Seed drives every random component (default 1).
 	Seed uint64
 
@@ -238,6 +249,10 @@ type System struct {
 	linkScratch  channel.TxScratch
 	symbolRateHz float64
 	edgeLink     netsim.Link
+
+	// batcher is the cross-request dynamic batching collector, nil when
+	// Config.BatchWindow is zero (solo per-request path).
+	batcher *batcher
 
 	// Aggregate counters (atomic: updated from concurrent transmits).
 	syncBytes   atomic.Int64
@@ -437,6 +452,9 @@ func NewSystem(cfg Config) (*System, error) {
 		edgeLink:     cfg.EdgeLink,
 		users:        make(map[string]*userState, 16),
 	}
+	if cfg.BatchWindow > 0 {
+		s.batcher = newBatcher(s, cfg.BatchWindow, cfg.BatchMaxTokens)
+	}
 	if err := s.initSelectors(rng); err != nil {
 		return nil, err
 	}
@@ -590,6 +608,9 @@ func (s *System) TransmitText(user string, words []string) (*Result, error) {
 // the returned concepts are backed by sc and must be consumed before the
 // scratch is released.
 func (s *System) transmitSelected(sc *mat.Scratch, user string, words []string, selected int, sel selection.Selector) (*Result, []int, error) {
+	if s.batcher != nil {
+		return s.transmitBatched(sc, user, words, selected, sel)
+	}
 	domain := s.Corpus.Domains[selected].Name
 	sender := s.senderFor(user)
 

@@ -1,0 +1,131 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is a typed connection to an edged daemon. It owns one TCP
+// connection and serializes calls over it; a Client is safe for use from
+// multiple goroutines, with concurrent calls queueing on an internal
+// mutex.
+//
+// Transport-level failures (including a per-call deadline expiring
+// mid-frame) leave the connection in an undefined framing state: the
+// caller should Close the client and Dial a fresh one. Application-level
+// failures arrive as Response.OK == false with the connection intact.
+type Client struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	timeout time.Duration
+}
+
+// ErrClosed reports a call on a closed Client.
+var ErrClosed = errors.New("rpc: client closed")
+
+// Dial connects to an edged daemon at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection in a Client. The Client takes
+// ownership of conn.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn}
+}
+
+// SetTimeout sets the default per-call deadline applied when a call does
+// not carry its own. Zero (the initial state) means calls wait forever.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.timeout = d
+	c.mu.Unlock()
+}
+
+// Close shuts the connection down. Calls after Close fail with ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// Do issues one request and reads its response, applying deadline (or the
+// client default when deadline is zero) to the whole exchange. A positive
+// deadline is also forwarded to the daemon as Request.DeadlineMs so
+// admission control can shed the request instead of serving it late.
+func (c *Client) Do(req *Request, deadline time.Duration) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil, ErrClosed
+	}
+	if deadline <= 0 {
+		deadline = c.timeout
+	}
+	if deadline > 0 {
+		req.DeadlineMs = float64(deadline) / float64(time.Millisecond)
+		if err := c.conn.SetDeadline(time.Now().Add(deadline)); err != nil {
+			return nil, fmt.Errorf("rpc: set deadline: %w", err)
+		}
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	if err := Write(c.conn, req); err != nil {
+		return nil, err
+	}
+	return ReadResponse(c.conn)
+}
+
+// Transmit runs one message through the daemon's semantic pipeline.
+func (c *Client) Transmit(user, text string) (*Response, error) {
+	return c.Do(&Request{Op: OpTransmit, User: user, Text: text}, 0)
+}
+
+// TransmitDeadline is Transmit with an explicit per-call deadline.
+func (c *Client) TransmitDeadline(user, text string, deadline time.Duration) (*Response, error) {
+	return c.Do(&Request{Op: OpTransmit, User: user, Text: text}, deadline)
+}
+
+// Move attaches user to a radio cell (cluster mode). The returned
+// Response carries the Handover outcome when the daemon runs a cluster.
+func (c *Client) Move(user string, cell int) (*Response, error) {
+	return c.Do(&Request{Op: OpMove, User: user, Cell: cell}, 0)
+}
+
+// Stats fetches the daemon's counters.
+func (c *Client) Stats() (*Stats, error) {
+	resp, err := c.Do(&Request{Op: OpStats}, 0)
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("rpc: stats: %s", resp.Error)
+	}
+	if resp.Stats == nil {
+		return nil, errors.New("rpc: stats response carried no stats")
+	}
+	return resp.Stats, nil
+}
+
+// Ping checks daemon liveness.
+func (c *Client) Ping() error {
+	resp, err := c.Do(&Request{Op: OpPing}, 0)
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("rpc: ping: %s", resp.Error)
+	}
+	return nil
+}

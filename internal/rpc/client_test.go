@@ -1,0 +1,152 @@
+package rpc
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts one connection and answers requests until EOF,
+// echoing Text for transmits, reporting fixed stats, and acknowledging
+// everything else. It sends each received request to reqs when non-nil.
+func echoServer(t *testing.T, ln net.Listener, reqs chan<- *Request) {
+	t.Helper()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		for {
+			req, err := ReadRequest(conn)
+			if err != nil {
+				return
+			}
+			if reqs != nil {
+				reqs <- req
+			}
+			resp := &Response{OK: true}
+			switch req.Op {
+			case OpTransmit:
+				resp.Restored = req.Text
+			case OpStats:
+				resp.Stats = &Stats{Messages: 9, Serve: &ServeStats{InFlight: 1}}
+			case OpMove:
+				resp.Handover = &Handover{From: "node-0", To: "node-1", Moved: true}
+			}
+			if err := Write(conn, resp); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+func dialTest(t *testing.T, reqs chan<- *Request) *Client {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	echoServer(t, ln, reqs)
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestClientCalls(t *testing.T) {
+	c := dialTest(t, nil)
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Transmit("alice", "the server is down")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || resp.Restored != "the server is down" {
+		t.Fatalf("transmit resp = %+v", resp)
+	}
+	mv, err := c.Move("alice", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mv.Handover == nil || !mv.Handover.Moved {
+		t.Fatalf("move resp = %+v", mv)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Messages != 9 || st.Serve == nil || st.Serve.InFlight != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestClientForwardsDeadline(t *testing.T) {
+	reqs := make(chan *Request, 1)
+	c := dialTest(t, reqs)
+	if _, err := c.TransmitDeadline("alice", "hi", 250*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	req := <-reqs
+	if req.DeadlineMs != 250 {
+		t.Fatalf("DeadlineMs = %g, want 250", req.DeadlineMs)
+	}
+	// The default timeout applies when a call carries no deadline of its
+	// own.
+	c.SetTimeout(500 * time.Millisecond)
+	if _, err := c.Transmit("alice", "hi"); err != nil {
+		t.Fatal(err)
+	}
+	if req = <-reqs; req.DeadlineMs != 500 {
+		t.Fatalf("default DeadlineMs = %g, want 500", req.DeadlineMs)
+	}
+}
+
+func TestClientDeadlineExpires(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// A server that accepts but never answers: the call must fail by the
+	// deadline instead of hanging.
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		io.Copy(io.Discard, conn)
+	}()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if _, err := c.TransmitDeadline("alice", "hi", 50*time.Millisecond); err == nil {
+		t.Fatal("call against a mute server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline ignored: call blocked %v", elapsed)
+	}
+}
+
+func TestClientClosed(t *testing.T) {
+	c := dialTest(t, nil)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := c.Transmit("alice", "hi"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}

@@ -3,19 +3,27 @@ package rpc
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"reflect"
 	"testing"
 )
 
 // frame wraps payload in the wire format (possibly with a lying header
-// when truncate is set) for seeding the fuzz corpus.
+// when lieLen is set) for seeding the fuzz corpus.
 func frame(payload []byte, lieLen uint32) []byte {
-	hdr := make([]byte, 4)
+	return frameV(Version, payload, lieLen)
+}
+
+// frameV is frame with an explicit version byte, for seeding
+// wrong-version inputs.
+func frameV(version byte, payload []byte, lieLen uint32) []byte {
+	hdr := make([]byte, headerBytes)
+	hdr[0] = version
 	n := uint32(len(payload))
 	if lieLen != 0 {
 		n = lieLen
 	}
-	binary.LittleEndian.PutUint32(hdr, n)
+	binary.LittleEndian.PutUint32(hdr[1:], n)
 	return append(hdr, payload...)
 }
 
@@ -36,6 +44,30 @@ func seedFrames(f *testing.F, valid interface{}) {
 	f.Add(frame([]byte(`null`), 0))                 // null document
 	f.Add(frame([]byte(`{}`), 1<<30))               // lying oversize header
 	f.Add(frame(bytes.Repeat([]byte{0xff}, 64), 0)) // binary garbage
+	f.Add(frameV(0, []byte(`{}`), 0))               // pre-versioning framing
+	f.Add(frameV(2, []byte(`{}`), 0))               // future protocol version
+	f.Add(frameV(0xff, []byte(`{}`), 0))            // junk version byte
+}
+
+// checkVersionByte asserts the parser's version handling for one fuzz
+// input: any frame whose first byte is not Version must be rejected with
+// *VersionError (never accepted, never misreported), and *VersionError
+// must never surface for a current-version frame.
+func checkVersionByte(t *testing.T, data []byte, err error) {
+	t.Helper()
+	var verr *VersionError
+	wrongVersion := len(data) >= headerBytes && data[0] != Version
+	if wrongVersion && err == nil {
+		t.Fatalf("frame with version byte %d accepted", data[0])
+	}
+	if errors.As(err, &verr) {
+		if !wrongVersion {
+			t.Fatalf("VersionError %v for frame %q", verr, data)
+		}
+		if verr.Got != data[0] {
+			t.Fatalf("VersionError.Got = %d, frame has %d", verr.Got, data[0])
+		}
+	}
 }
 
 // FuzzReadRequest feeds arbitrary bytes to the request parser: it must
@@ -44,6 +76,7 @@ func FuzzReadRequest(f *testing.F) {
 	seedFrames(f, &Request{Op: OpTransmit, User: "u01", Text: "the server restarted", Cell: 2})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, err := ReadRequest(bytes.NewReader(data))
+		checkVersionByte(t, data, err)
 		if err != nil {
 			return
 		}
@@ -71,6 +104,7 @@ func FuzzReadResponse(f *testing.F) {
 	})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		resp, err := ReadResponse(bytes.NewReader(data))
+		checkVersionByte(t, data, err)
 		if err != nil {
 			return
 		}

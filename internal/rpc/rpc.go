@@ -1,6 +1,6 @@
-// Package rpc defines the length-prefixed JSON wire protocol spoken
-// between the edged daemon and its clients: a uint32 little-endian length
-// header followed by one JSON document.
+// Package rpc defines the versioned, length-prefixed JSON wire protocol
+// spoken between the edged daemon and its clients: a one-byte protocol
+// version, a uint32 little-endian length header, then one JSON document.
 package rpc
 
 import (
@@ -10,6 +10,15 @@ import (
 	"fmt"
 	"io"
 )
+
+// Version is the wire protocol version written by this build. The original
+// unversioned framing is retroactively version 1; peers speaking any other
+// version are rejected with *VersionError.
+const Version = 1
+
+// headerBytes is the framed-message header size: 1 version byte + 4-byte
+// little-endian payload length.
+const headerBytes = 5
 
 // MaxMessageBytes bounds a single wire message; larger frames are
 // rejected to keep a malformed peer from exhausting memory.
@@ -35,12 +44,21 @@ type Request struct {
 	Text string `json:"text,omitempty"`
 	// Cell is the target radio cell for OpMove.
 	Cell int `json:"cell,omitempty"`
+	// DeadlineMs is the client's remaining patience for this call in
+	// milliseconds. Zero means no deadline. The daemon sheds the request
+	// with an error instead of serving it when admission queueing alone
+	// would exceed the deadline.
+	DeadlineMs float64 `json:"deadline_ms,omitempty"`
 }
 
 // Response is a daemon-to-client message.
 type Response struct {
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
+
+	// Shed marks a request rejected by admission control (queue wait
+	// exceeded the deadline or the shed threshold) rather than failed.
+	Shed bool `json:"shed,omitempty"`
 
 	// Transmit results. Mismatch, PayloadBytes and LatencyMs always
 	// serialize: a perfect zero-mismatch transmit must stay
@@ -84,6 +102,23 @@ type Stats struct {
 	CachedModels   int     `json:"cached_models"`
 	CacheUsedBytes int64   `json:"cache_used_bytes"`
 
+	// Serve carries the daemon's serve-path metrics: admission state,
+	// latency and queue-wait histograms, and cross-request batching
+	// counters. Nil when the responder predates the serve path (e.g. a
+	// unit-test stub).
+	Serve *ServeStats `json:"serve,omitempty"`
+
+	// Cluster-mode counters (absent in single-sender mode).
+	Nodes         []NodeStats `json:"nodes,omitempty"`
+	Handovers     int64       `json:"handovers,omitempty"`
+	MigratedBytes int64       `json:"migrated_bytes,omitempty"`
+}
+
+// ServeStats nests the serve-path metrics: what the daemon is doing right
+// now (in-flight), how fast it has been (latency percentiles), how long
+// admission queueing takes (queue-wait percentiles plus sheds), and how
+// well the cross-request batcher is packing work (occupancy histogram).
+type ServeStats struct {
 	// InFlight is the number of transmits being served right now.
 	InFlight int `json:"in_flight"`
 	// Latency percentiles of daemon-side transmit service time, in
@@ -92,11 +127,27 @@ type Stats struct {
 	LatencyP95Ms float64 `json:"latency_p95_ms"`
 	LatencyP99Ms float64 `json:"latency_p99_ms"`
 
-	// Cluster-mode counters (absent in single-sender mode).
-	Nodes         []NodeStats `json:"nodes,omitempty"`
-	Handovers     int64       `json:"handovers,omitempty"`
-	MigratedBytes int64       `json:"migrated_bytes,omitempty"`
+	// Queue-wait percentiles measure time spent blocked on the
+	// -max-inflight admission gate before service began, in milliseconds.
+	QueueWaitP50Ms float64 `json:"queue_wait_p50_ms"`
+	QueueWaitP95Ms float64 `json:"queue_wait_p95_ms"`
+	QueueWaitP99Ms float64 `json:"queue_wait_p99_ms"`
+	// Shed counts requests rejected by admission control.
+	Shed int64 `json:"shed,omitempty"`
+
+	// Batches counts batch executions by the cross-request collector, and
+	// BatchedRequests the transmits served through them. Both stay zero
+	// with batching off (-batch-window 0).
+	Batches         int64 `json:"batches,omitempty"`
+	BatchedRequests int64 `json:"batched_requests,omitempty"`
+	// BatchOccupancy histograms requests-per-executed-batch into the
+	// buckets 1, 2, 3–4, 5–8, 9–16 and 17+.
+	BatchOccupancy [6]int64 `json:"batch_occupancy,omitempty"`
 }
+
+// BatchOccupancyLabels names the ServeStats.BatchOccupancy buckets, for
+// printers.
+var BatchOccupancyLabels = [6]string{"1", "2", "3-4", "5-8", "9-16", "17+"}
 
 // NodeStats reports one cluster node's counters.
 type NodeStats struct {
@@ -115,6 +166,17 @@ type NodeStats struct {
 // errFrameTooLarge reports an oversized wire frame.
 var errFrameTooLarge = errors.New("rpc: frame exceeds MaxMessageBytes")
 
+// VersionError reports a frame whose version byte does not match this
+// build's protocol version.
+type VersionError struct {
+	// Got is the version byte received from the peer.
+	Got byte
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("rpc: unsupported protocol version %d (want %d)", e.Got, Version)
+}
+
 // Write marshals v and writes one framed message.
 func Write(w io.Writer, v interface{}) error {
 	payload, err := json.Marshal(v)
@@ -124,8 +186,9 @@ func Write(w io.Writer, v interface{}) error {
 	if len(payload) > MaxMessageBytes {
 		return errFrameTooLarge
 	}
-	hdr := make([]byte, 4)
-	binary.LittleEndian.PutUint32(hdr, uint32(len(payload)))
+	hdr := make([]byte, headerBytes)
+	hdr[0] = Version
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
 	if _, err := w.Write(hdr); err != nil {
 		return fmt.Errorf("rpc: write header: %w", err)
 	}
@@ -135,13 +198,16 @@ func Write(w io.Writer, v interface{}) error {
 	return nil
 }
 
-// read reads one framed payload.
+// read reads one framed payload, rejecting unknown protocol versions.
 func read(r io.Reader) ([]byte, error) {
-	hdr := make([]byte, 4)
+	hdr := make([]byte, headerBytes)
 	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, err // io.EOF passes through for clean shutdown
 	}
-	n := binary.LittleEndian.Uint32(hdr)
+	if hdr[0] != Version {
+		return nil, &VersionError{Got: hdr[0]}
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
 	if n > MaxMessageBytes {
 		return nil, errFrameTooLarge
 	}

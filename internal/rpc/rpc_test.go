@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"io"
 	"net"
 	"testing"
@@ -54,11 +55,17 @@ func TestZeroTransmitFieldsSerialize(t *testing.T) {
 	}
 }
 
+// header builds a wire header with the given version and payload length.
+func header(version byte, n uint32) []byte {
+	hdr := make([]byte, headerBytes)
+	hdr[0] = version
+	binary.LittleEndian.PutUint32(hdr[1:], n)
+	return hdr
+}
+
 func TestReadRejectsOversizedFrame(t *testing.T) {
 	var buf bytes.Buffer
-	hdr := make([]byte, 4)
-	binary.LittleEndian.PutUint32(hdr, MaxMessageBytes+1)
-	buf.Write(hdr)
+	buf.Write(header(Version, MaxMessageBytes+1))
 	if _, err := ReadRequest(&buf); err == nil {
 		t.Fatal("oversized frame accepted")
 	}
@@ -66,12 +73,36 @@ func TestReadRejectsOversizedFrame(t *testing.T) {
 
 func TestReadTruncatedPayload(t *testing.T) {
 	var buf bytes.Buffer
-	hdr := make([]byte, 4)
-	binary.LittleEndian.PutUint32(hdr, 100)
-	buf.Write(hdr)
+	buf.Write(header(Version, 100))
 	buf.WriteString("short")
 	if _, err := ReadRequest(&buf); err == nil {
 		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestWriteEmitsVersionByte(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &Request{Op: OpPing}); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Bytes()[0]; got != Version {
+		t.Fatalf("frame starts with %d, want version byte %d", got, Version)
+	}
+}
+
+func TestReadRejectsUnknownVersions(t *testing.T) {
+	for _, v := range []byte{0, 2, 0x7f, 0xff} {
+		var buf bytes.Buffer
+		buf.Write(header(v, 2))
+		buf.WriteString("{}")
+		_, err := ReadRequest(&buf)
+		var verr *VersionError
+		if !errors.As(err, &verr) {
+			t.Fatalf("version %d: err = %v, want *VersionError", v, err)
+		}
+		if verr.Got != v {
+			t.Fatalf("VersionError.Got = %d, want %d", verr.Got, v)
+		}
 	}
 }
 
@@ -83,9 +114,7 @@ func TestReadEOFPassthrough(t *testing.T) {
 
 func TestReadGarbageJSON(t *testing.T) {
 	var buf bytes.Buffer
-	hdr := make([]byte, 4)
-	binary.LittleEndian.PutUint32(hdr, 4)
-	buf.Write(hdr)
+	buf.Write(header(Version, 4))
 	buf.WriteString("]]]]")
 	if _, err := ReadRequest(&buf); err == nil {
 		t.Fatal("garbage JSON accepted")
