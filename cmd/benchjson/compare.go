@@ -8,14 +8,26 @@ import (
 	"sort"
 )
 
-// Comparison is the verdict for one benchmark present in both reports.
+// Comparison is the verdict for one (benchmark, unit) pair present in both
+// reports. A benchmark contributes up to three rows: ns/op always, plus
+// B/op and allocs/op when -benchmem samples exist on both sides.
 type Comparison struct {
 	Name  string
-	Base  float64 // baseline best (min) ns/op
-	New   float64 // current best (min) ns/op
+	Unit  string  // "ns/op", "B/op" or "allocs/op"
+	Base  float64 // baseline best (min) value
+	New   float64 // current best (min) value
 	Delta float64 // (New-Base)/Base; positive = regression
 	Level string  // "", "WARN" or "FAIL"
 }
+
+// Memory-unit floors: pairs where both sides sit below the floor are
+// skipped entirely (a 0→48-byte or 0→1-alloc wobble is fixture noise, not
+// a leak), and a zero baseline is clamped up to the floor so a genuine
+// 0→N regression reports a finite delta instead of dividing by zero.
+const (
+	bytesFloor  = 64
+	allocsFloor = 2
+)
 
 // CompareResult aggregates a baseline/current report comparison.
 type CompareResult struct {
@@ -25,7 +37,7 @@ type CompareResult struct {
 	Failures int
 }
 
-// compareReports diffs best-of-run (min) ns/op per benchmark — the
+// compareReports diffs best-of-run (min) values per benchmark — the
 // standard robust statistic for wall-clock comparisons, since scheduling
 // noise only ever inflates a sample. Regressions at or above warnFrac
 // mark WARN, at or above failFrac mark FAIL; improvements and small
@@ -35,6 +47,12 @@ type CompareResult struct {
 // minRuns samples on either side are capped at WARN: a single-iteration
 // measurement on a different CPU is too noisy to hard-fail a job, so
 // only the deliberately multi-sampled benchmarks gate.
+//
+// When both reports carry -benchmem samples for a benchmark, its B/op and
+// allocs/op diff under the same thresholds and minRuns cap — allocation
+// counts are deterministic for a fixed binary, so a regression there is a
+// real code change (a lost buffer reuse, a new escape), not scheduler
+// noise. Pairs below the unit floors are skipped (see bytesFloor).
 func compareReports(base, cur *Report, warnFrac, failFrac float64, minRuns int) CompareResult {
 	var res CompareResult
 	names := make([]string, 0, len(base.Benchmarks))
@@ -53,22 +71,32 @@ func compareReports(base, cur *Report, warnFrac, failFrac float64, minRuns int) 
 			res.Warnings++
 			continue
 		}
-		row := Comparison{
-			Name:  name,
-			Base:  b.NsPerOp.Min,
-			New:   c.NsPerOp.Min,
-			Delta: (c.NsPerOp.Min - b.NsPerOp.Min) / b.NsPerOp.Min,
-		}
 		canFail := b.Runs >= minRuns && c.Runs >= minRuns
-		switch {
-		case row.Delta >= failFrac && canFail:
-			row.Level = "FAIL"
-			res.Failures++
-		case row.Delta >= warnFrac:
-			row.Level = "WARN"
-			res.Warnings++
+		grade := func(unit string, baseV, newV, floor float64) {
+			row := Comparison{Name: name, Unit: unit, Base: baseV, New: newV}
+			if baseV < floor {
+				baseV = floor
+			}
+			row.Delta = (newV - baseV) / baseV
+			switch {
+			case row.Delta >= failFrac && canFail:
+				row.Level = "FAIL"
+				res.Failures++
+			case row.Delta >= warnFrac:
+				row.Level = "WARN"
+				res.Warnings++
+			}
+			res.Rows = append(res.Rows, row)
 		}
-		res.Rows = append(res.Rows, row)
+		grade("ns/op", b.NsPerOp.Min, c.NsPerOp.Min, 1)
+		if b.BPerOp != nil && c.BPerOp != nil &&
+			(b.BPerOp.Min >= bytesFloor || c.BPerOp.Min >= bytesFloor) {
+			grade("B/op", b.BPerOp.Min, c.BPerOp.Min, bytesFloor)
+		}
+		if b.AllocsPerOp != nil && c.AllocsPerOp != nil &&
+			(b.AllocsPerOp.Min >= allocsFloor || c.AllocsPerOp.Min >= allocsFloor) {
+			grade("allocs/op", b.AllocsPerOp.Min, c.AllocsPerOp.Min, allocsFloor)
+		}
 	}
 	return res
 }
@@ -94,8 +122,8 @@ func printComparison(w io.Writer, res CompareResult, warnFrac, failFrac float64)
 		if row.Level != "" {
 			level = row.Level
 		}
-		fmt.Fprintf(w, "%s %-60s %12.0f -> %12.0f ns/op  %+6.1f%%\n",
-			level, row.Name, row.Base, row.New, 100*row.Delta)
+		fmt.Fprintf(w, "%s %-60s %12.0f -> %12.0f %-9s %+6.1f%%\n",
+			level, row.Name, row.Base, row.New, row.Unit, 100*row.Delta)
 	}
 	for _, name := range res.Missing {
 		fmt.Fprintf(w, "MISS %-60s not in current run\n", name)
@@ -119,7 +147,7 @@ func runCompare(basePath, curPath string, warnFrac, failFrac float64, minRuns in
 	fmt.Printf("benchjson: %s vs baseline %s\n", curPath, basePath)
 	printComparison(os.Stdout, res, warnFrac, failFrac)
 	if res.Failures > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed >= %.0f%% on ns/op", res.Failures, 100*failFrac)
+		return fmt.Errorf("%d benchmark measurement(s) regressed >= %.0f%%", res.Failures, 100*failFrac)
 	}
 	return nil
 }

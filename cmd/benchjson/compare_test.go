@@ -96,6 +96,88 @@ func TestCompareReportsMinRunsCapsAtWarn(t *testing.T) {
 	}
 }
 
+// withMem attaches -benchmem stats to an existing benchmark entry.
+func withMem(rep *Report, name string, bytes, allocs float64) {
+	b := rep.Benchmarks[name]
+	b.BPerOp = &Stat{Mean: bytes, Min: bytes, Max: bytes}
+	b.AllocsPerOp = &Stat{Mean: allocs, Min: allocs, Max: allocs}
+}
+
+func TestCompareReportsMemoryRegressions(t *testing.T) {
+	base := mkReport(map[string]float64{"BenchmarkMem": 100})
+	cur := mkReport(map[string]float64{"BenchmarkMem": 100})
+	withMem(base, "BenchmarkMem", 1000, 10)
+	withMem(cur, "BenchmarkMem", 1150, 13) // +15% bytes, +30% allocs
+	res := compareReports(base, cur, 0.10, 0.25, 1)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (ns/op + B/op + allocs/op): %+v", len(res.Rows), res.Rows)
+	}
+	byUnit := make(map[string]Comparison)
+	for _, row := range res.Rows {
+		byUnit[row.Unit] = row
+	}
+	if byUnit["ns/op"].Level != "" {
+		t.Fatalf("flat ns/op flagged: %+v", byUnit["ns/op"])
+	}
+	if byUnit["B/op"].Level != "WARN" {
+		t.Fatalf("B/op +15%% level = %q, want WARN", byUnit["B/op"].Level)
+	}
+	if byUnit["allocs/op"].Level != "FAIL" {
+		t.Fatalf("allocs/op +30%% level = %q, want FAIL", byUnit["allocs/op"].Level)
+	}
+	if res.Warnings != 1 || res.Failures != 1 {
+		t.Fatalf("warnings=%d failures=%d, want 1 and 1", res.Warnings, res.Failures)
+	}
+}
+
+func TestCompareReportsMemoryFloors(t *testing.T) {
+	// Both sides under the floors: no memory rows at all, even though the
+	// relative deltas are huge (0→1 alloc, 16→48 bytes).
+	base := mkReport(map[string]float64{"BenchmarkTiny": 100})
+	cur := mkReport(map[string]float64{"BenchmarkTiny": 100})
+	withMem(base, "BenchmarkTiny", 16, 0)
+	withMem(cur, "BenchmarkTiny", 48, 1)
+	res := compareReports(base, cur, 0.10, 0.25, 1)
+	if len(res.Rows) != 1 || res.Warnings != 0 || res.Failures != 0 {
+		t.Fatalf("sub-floor wobble graded: %+v", res)
+	}
+	// A genuine zero→many regression crosses the floor and grades against
+	// the floor value rather than dividing by zero.
+	withMem(cur, "BenchmarkTiny", 4096, 7)
+	res = compareReports(base, cur, 0.10, 0.25, 1)
+	if res.Failures != 2 {
+		t.Fatalf("0→4096B / 0→7 allocs failures = %d, want 2: %+v", res.Failures, res.Rows)
+	}
+	for _, row := range res.Rows {
+		if row.Unit != "ns/op" && (row.Delta <= 0 || row.Delta > 1e6) {
+			t.Fatalf("floored delta out of range: %+v", row)
+		}
+	}
+}
+
+func TestCompareReportsMemoryOnlyOneSide(t *testing.T) {
+	// Baseline recorded without -benchmem: ns/op still compares, memory
+	// units are silently absent rather than counted missing.
+	base := mkReport(map[string]float64{"BenchmarkHalf": 100})
+	cur := mkReport(map[string]float64{"BenchmarkHalf": 100})
+	withMem(cur, "BenchmarkHalf", 4096, 10)
+	res := compareReports(base, cur, 0.10, 0.25, 1)
+	if len(res.Rows) != 1 || res.Rows[0].Unit != "ns/op" {
+		t.Fatalf("one-sided memory stats graded: %+v", res.Rows)
+	}
+}
+
+func TestCompareReportsMemoryMinRunsCapsAtWarn(t *testing.T) {
+	base := mkReport(map[string]float64{"BenchmarkOnce": 100})
+	cur := mkReport(map[string]float64{"BenchmarkOnce": 100})
+	withMem(base, "BenchmarkOnce", 1000, 10)
+	withMem(cur, "BenchmarkOnce", 2000, 20) // +100% on both memory units
+	res := compareReports(base, cur, 0.10, 0.25, 2)
+	if res.Failures != 0 || res.Warnings != 2 {
+		t.Fatalf("single-sample memory regression: failures=%d warnings=%d, want 0 and 2", res.Failures, res.Warnings)
+	}
+}
+
 func TestPrintComparisonRendersLevels(t *testing.T) {
 	base := mkReport(map[string]float64{"BenchmarkA": 100, "BenchmarkB": 100})
 	cur := mkReport(map[string]float64{"BenchmarkA": 140})

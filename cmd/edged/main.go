@@ -100,6 +100,7 @@ func run() error {
 		batchWindow = flag.Duration("batch-window", 0, "cross-request batching window (e.g. 50us); 0 disables batching")
 		batchTokens = flag.Int("batch-max-tokens", 0, "flush a collecting batch at this many tokens (0 = default budget)")
 		shedAfter   = flag.Duration("shed-after", 0, "shed transmits queued at the -max-inflight gate longer than this; 0 = only shed on client deadlines")
+		tier        = flag.String("tier", "f64", "serving kernel tier (f64|f32|int8); f64 is bit-exact, f32/int8 trade bounded accuracy for speed")
 	)
 	flag.Parse()
 	if *workers > 0 {
@@ -125,6 +126,7 @@ func run() error {
 		Nodes:          *nodes,
 		BatchWindow:    *batchWindow,
 		BatchMaxTokens: *batchTokens,
+		Tier:           *tier,
 	}
 	start := time.Now()
 	if *kbDir != "" {

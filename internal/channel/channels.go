@@ -39,6 +39,15 @@ type AWGN struct {
 	SNRdB float64
 	// Rng drives the noise; it must be non-nil.
 	Rng *mat.RNG
+
+	// sigma caches NoiseSigma() for the current SNRdB (the pow+sqrt is
+	// measurable per message), and noise is the reusable block-draw buffer;
+	// both make TransmitTo stateful, which is fine because the Rng field
+	// already makes a channel single-goroutine.
+	sigmaFor float64
+	sigma    float64
+	sigmaOK  bool
+	noise    []float64
 }
 
 var _ Channel = (*AWGN)(nil)
@@ -53,17 +62,43 @@ func (c *AWGN) NoiseSigma() float64 {
 	return math.Sqrt(noisePower / 2)
 }
 
+// noiseSigmaCached returns NoiseSigma(), recomputing only when SNRdB
+// changed since the last call.
+func (c *AWGN) noiseSigmaCached() float64 {
+	if !c.sigmaOK || c.sigmaFor != c.SNRdB {
+		c.sigma = c.NoiseSigma()
+		c.sigmaFor = c.SNRdB
+		c.sigmaOK = true
+	}
+	return c.sigma
+}
+
 // Transmit implements Channel.
 func (c *AWGN) Transmit(symbols []complex128) []complex128 {
 	return c.TransmitTo(make([]complex128, 0, len(symbols)), symbols)
 }
 
+// noiseBlock fills and returns c's reusable buffer with n normal deviates
+// drawn as one block: bit-identical to n scalar NormFloat64 calls
+// (mat.RNG.NormFloat64Block), amortizing per-draw call overhead across the
+// whole message.
+func (c *AWGN) noiseBlock(n int) []float64 {
+	if cap(c.noise) < n {
+		c.noise = make([]float64, n)
+	}
+	nz := c.noise[:n]
+	c.Rng.NormFloat64Block(nz)
+	return nz
+}
+
 // TransmitTo implements the allocation-free fast path; the noise RNG is
-// consumed in exactly the Transmit order.
+// consumed in exactly the Transmit order (the block draw reproduces the
+// scalar sequence bit for bit).
 func (c *AWGN) TransmitTo(dst, symbols []complex128) []complex128 {
-	sigma := c.NoiseSigma()
-	for _, s := range symbols {
-		dst = append(dst, s+complex(sigma*c.Rng.NormFloat64(), sigma*c.Rng.NormFloat64()))
+	sigma := c.noiseSigmaCached()
+	nz := c.noiseBlock(2 * len(symbols))
+	for i, s := range symbols {
+		dst = append(dst, s+complex(sigma*nz[2*i], sigma*nz[2*i+1]))
 	}
 	return dst
 }
@@ -78,6 +113,12 @@ type Rayleigh struct {
 	BlockLen int
 	// Rng drives fading and noise; it must be non-nil.
 	Rng *mat.RNG
+
+	// sigma cache + block-draw buffer, as in AWGN.
+	sigmaFor float64
+	sigma    float64
+	sigmaOK  bool
+	noise    []float64
 }
 
 var _ Channel = (*Rayleigh)(nil)
@@ -85,19 +126,51 @@ var _ Channel = (*Rayleigh)(nil)
 // Name implements Channel.
 func (c *Rayleigh) Name() string { return "rayleigh" }
 
+// noiseSigmaCached returns the per-component noise sigma, recomputing only
+// when SNRdB changed since the last call.
+func (c *Rayleigh) noiseSigmaCached() float64 {
+	if !c.sigmaOK || c.sigmaFor != c.SNRdB {
+		noisePower := math.Pow(10, -c.SNRdB/10)
+		c.sigma = math.Sqrt(noisePower / 2)
+		c.sigmaFor = c.SNRdB
+		c.sigmaOK = true
+	}
+	return c.sigma
+}
+
 // Transmit implements Channel.
 func (c *Rayleigh) Transmit(symbols []complex128) []complex128 {
 	return c.TransmitTo(make([]complex128, 0, len(symbols)), symbols)
 }
 
 // TransmitTo implements the allocation-free fast path; fading and noise
-// draws consume the RNG in exactly the Transmit order.
+// draws consume the RNG in exactly the Transmit order. Per-symbol fading
+// (the default) draws all four deviates per symbol — h_re, h_im, n_re,
+// n_im — as one block per message, bit-identical to the scalar sequence;
+// coherence blocks larger than one keep the scalar draw pattern.
 func (c *Rayleigh) TransmitTo(dst, symbols []complex128) []complex128 {
-	noisePower := math.Pow(10, -c.SNRdB/10)
-	sigma := math.Sqrt(noisePower / 2)
+	sigma := c.noiseSigmaCached()
 	block := c.BlockLen
 	if block <= 0 {
 		block = 1
+	}
+	if block == 1 {
+		need := 4 * len(symbols)
+		if cap(c.noise) < need {
+			c.noise = make([]float64, need)
+		}
+		nz := c.noise[:need]
+		c.Rng.NormFloat64Block(nz)
+		for i, s := range symbols {
+			h := complex(nz[4*i]/math.Sqrt2, nz[4*i+1]/math.Sqrt2)
+			// Avoid pathological division in deep fades.
+			if abs := math.Hypot(real(h), imag(h)); abs < 1e-3 {
+				h = complex(1e-3, 0)
+			}
+			n := complex(sigma*nz[4*i+2], sigma*nz[4*i+3])
+			dst = append(dst, (h*s+n)/h)
+		}
+		return dst
 	}
 	var h complex128
 	for i, s := range symbols {

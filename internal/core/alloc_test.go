@@ -11,8 +11,15 @@ import (
 // repeated transmits stay on the steady-state path.
 func allocSystem(t *testing.T) *System {
 	t.Helper()
+	return allocSystemTier(t, "")
+}
+
+// allocSystemTier is allocSystem at an explicit serving kernel tier.
+func allocSystemTier(t *testing.T, tier string) *System {
+	t.Helper()
 	cfg := goldenConfig()
 	cfg.DisableAutoUpdate = true
+	cfg.Tier = tier
 	s, err := NewSystem(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -32,45 +39,52 @@ func allocSystem(t *testing.T) *System {
 // decoder-copy mismatch decode — at zero heap allocations per message.
 // This is exactly the per-message compute transmitSelected performs; what
 // remains outside are the retained artifacts (Result, transaction buffers,
-// restored words), which hold amortized state by design.
+// restored words), which hold amortized state by design. The guarantee
+// holds at every kernel tier: the reduced-precision weight shadows are
+// built once per codec and the tiered kernels draw all temporaries from
+// the same scratch arena the f64 path uses.
 func TestTransmitCodecPathZeroAllocs(t *testing.T) {
 	if mat.RaceEnabled {
 		t.Skip("allocation accounting differs under -race")
 	}
-	s := allocSystem(t)
-	words := corpus.NewGenerator(s.Corpus, mat.NewRNG(5)).Message(s.Corpus.Domain("it").Index, nil).Words
-	const domain, user = "it", "alloc-user"
+	for _, tier := range []string{"f64", "f32", "int8"} {
+		t.Run(tier, func(t *testing.T) {
+			s := allocSystemTier(t, tier)
+			words := corpus.NewGenerator(s.Corpus, mat.NewRNG(5)).Message(s.Corpus.Domain("it").Index, nil).Words
+			const domain, user = "it", "alloc-user"
 
-	prev := mat.Parallelism()
-	defer mat.SetParallelism(prev)
-	mat.SetParallelism(1) // sharding spawns goroutines, which allocate
+			prev := mat.Parallelism()
+			defer mat.SetParallelism(prev)
+			mat.SetParallelism(1) // sharding spawns goroutines, which allocate
 
-	sc := mat.GetScratch()
-	defer mat.PutScratch(sc)
-	mismatch := make([]int, len(words))
+			sc := mat.GetScratch()
+			defer mat.PutScratch(sc)
+			mismatch := make([]int, len(words))
 
-	codecPath := func() {
-		sc.Reset()
-		enc, err := s.Sender.Encode(sc, domain, user, words)
-		if err != nil {
-			t.Fatal(err)
-		}
-		rx := sc.Mat(enc.Features.Rows, enc.Model.Codec.FeatureDim())
-		s.linkMu.Lock()
-		s.link.SendFlatScratch(&s.linkScratch, rx.Data, enc.Features.Data)
-		s.linkMu.Unlock()
-		if _, err := s.Receiver.DecodeConcepts(sc, domain, user, rx); err != nil {
-			t.Fatal(err)
-		}
-		// Decoder-copy mismatch: reuses the already-encoded features, as
-		// RecordTransaction does inside Transmit.
-		enc.Model.Codec.DecodeFeaturesInto(sc, enc.Features, mismatch)
-	}
-	for i := 0; i < 8; i++ {
-		codecPath() // warm every arena and channel buffer to its high-water mark
-	}
-	if allocs := testing.AllocsPerRun(100, codecPath); allocs != 0 {
-		t.Fatalf("steady-state Transmit codec path allocates %v times per message, want 0", allocs)
+			codecPath := func() {
+				sc.Reset()
+				enc, err := s.Sender.Encode(sc, domain, user, words)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rx := sc.Mat(enc.Features.Rows, enc.Model.Codec.FeatureDim())
+				s.linkMu.Lock()
+				s.link.SendFlatScratch(&s.linkScratch, rx.Data, enc.Features.Data)
+				s.linkMu.Unlock()
+				if _, err := s.Receiver.DecodeConcepts(sc, domain, user, rx); err != nil {
+					t.Fatal(err)
+				}
+				// Decoder-copy mismatch: reuses the already-encoded features,
+				// as RecordTransaction does inside Transmit.
+				enc.Model.Codec.DecodeFeaturesInto(sc, enc.Features, mismatch)
+			}
+			for i := 0; i < 8; i++ {
+				codecPath() // warm every arena and channel buffer to its high-water mark
+			}
+			if allocs := testing.AllocsPerRun(100, codecPath); allocs != 0 {
+				t.Fatalf("steady-state Transmit codec path (%s tier) allocates %v times per message, want 0", tier, allocs)
+			}
+		})
 	}
 }
 

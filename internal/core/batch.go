@@ -105,9 +105,13 @@ type batchExec struct {
 	pool    *sync.Pool
 }
 
-// codecGroup collects the jobs of one batch that share a codec instance.
+// codecGroup collects the jobs of one batch that share a codec instance
+// AND its kernel tier: a fused GEMM pass runs on one tier, so requests
+// that observed different tiers of the same codec (a SetTier racing the
+// collect window) must not share a pass.
 type codecGroup struct {
 	codec  *semantic.Codec
+	tier   semantic.Tier
 	tokens int
 	feats  *mat.Dense // packed per-token features (encode or rx)
 }
@@ -234,16 +238,17 @@ func occBucket(n int) int {
 	}
 }
 
-// groupOf returns the index of codec's group in *groups, appending a new
-// group on first sight. Batches see a handful of distinct codecs, so a
-// linear scan beats a map (and allocates nothing once the slice is warm).
-func groupOf(groups *[]codecGroup, codec *semantic.Codec) int {
+// groupOf returns the index of the (codec, tier) group in *groups,
+// appending a new group on first sight. Batches see a handful of distinct
+// codecs, so a linear scan beats a map (and allocates nothing once the
+// slice is warm).
+func groupOf(groups *[]codecGroup, codec *semantic.Codec, tier semantic.Tier) int {
 	for i := range *groups {
-		if (*groups)[i].codec == codec {
+		if (*groups)[i].codec == codec && (*groups)[i].tier == tier {
 			return i
 		}
 	}
-	*groups = append(*groups, codecGroup{codec: codec})
+	*groups = append(*groups, codecGroup{codec: codec, tier: tier})
 	return len(*groups) - 1
 }
 
@@ -264,10 +269,10 @@ func (b *batcher) execute(jobs []*batchJob) {
 	// job's token-row offset within its groups.
 	for _, j := range jobs {
 		j.exec = x
-		j.sgIdx = groupOf(&x.sgroups, j.senderCodec)
+		j.sgIdx = groupOf(&x.sgroups, j.senderCodec, j.senderCodec.Tier())
 		j.sgOff = x.sgroups[j.sgIdx].tokens
 		x.sgroups[j.sgIdx].tokens += len(j.words)
-		j.rgIdx = groupOf(&x.rgroups, j.recvCodec)
+		j.rgIdx = groupOf(&x.rgroups, j.recvCodec, j.recvCodec.Tier())
 		j.rgOff = x.rgroups[j.rgIdx].tokens
 		x.rgroups[j.rgIdx].tokens += len(j.words)
 	}
@@ -277,7 +282,7 @@ func (b *batcher) execute(jobs []*batchJob) {
 		g := &x.sgroups[gi]
 		x.msgs = x.msgs[:0]
 		for _, j := range jobs {
-			if j.senderCodec == g.codec {
+			if j.sgIdx == gi {
 				x.msgs = append(x.msgs, j.words)
 			}
 		}

@@ -106,6 +106,13 @@ type Config struct {
 	// SymbolRateHz converts channel symbols to air time (default 1e6).
 	SymbolRateHz float64
 
+	// Tier names the serving kernel tier for every codec in the system
+	// ("f64", "f32", "int8"; default "f64", the bit-exact reference).
+	// Pretraining always runs in f64; the tier is applied to the trained
+	// (or supplied) general models, and individual models inherit it when
+	// they are cloned from a general.
+	Tier string
+
 	// Selector names the model-selection policy (default "naivebayes").
 	Selector string
 	// StaticDomain is the fixed choice for the "static" selector.
@@ -343,6 +350,10 @@ func NewSystem(cfg Config) (*System, error) {
 	if !validSelector(cfg.Selector) {
 		return nil, fmt.Errorf("core: unknown selector %q", cfg.Selector)
 	}
+	tier, err := semantic.ParseTier(cfg.Tier)
+	if err != nil {
+		return nil, err
+	}
 	corp := corpus.Build()
 	var generals []*semantic.Codec
 	if len(cfg.Pretrained) == len(corp.Domains) {
@@ -360,6 +371,16 @@ func NewSystem(cfg Config) (*System, error) {
 			codecCfg.Seed = cfg.Seed
 		}
 		generals = semantic.PretrainAll(corp, codecCfg)
+	}
+	if tier != semantic.TierF64 {
+		// Serving tier on the trained generals; individual models inherit
+		// it when cloned. Applied post-training so pretraining itself stays
+		// on the bit-exact f64 path regardless of tier.
+		for _, g := range generals {
+			if err := g.SetTier(tier); err != nil {
+				return nil, err
+			}
+		}
 	}
 
 	cloud := kb.NewRegistry()

@@ -1,0 +1,329 @@
+package mat
+
+import "math"
+
+// This file implements the float32 kernel tier. Unlike the float64 kernels
+// in gemm.go, the 32-bit kernels do NOT promise the serial accumulation
+// order: on AVX2+FMA hardware the dot products run through the 8-lane
+// assembly kernel (simd_amd64.s), and everywhere else each output element
+// sums its products through two interleaved partial chains (even/odd
+// positions) folded at the end. Dropping the bit-exact-order constraint is
+// what buys the SIMD schedule; it also halves the memory traffic against
+// f64. Results are still deterministic on a given machine — the chain
+// structure is fixed, so every call computes the same bits at any worker
+// count — they just differ from the f64 reference by a measured accuracy
+// budget (see the tier tests in internal/semantic).
+
+// Dense32 is a row-major float32 matrix: the storage type of the f32 and
+// int8 kernel tiers.
+type Dense32 struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewDense32 allocates a zeroed r x c float32 matrix. It panics if either
+// dimension is not positive.
+func NewDense32(r, c int) *Dense32 {
+	if r <= 0 || c <= 0 {
+		panic("mat: NewDense32 dimensions must be positive")
+	}
+	return &Dense32{Rows: r, Cols: c, Data: make([]float32, r*c)}
+}
+
+// Dense32From narrows a float64 matrix into a fresh Dense32.
+func Dense32From(m *Dense) *Dense32 {
+	d := &Dense32{Rows: m.Rows, Cols: m.Cols, Data: make([]float32, len(m.Data))}
+	Narrow(d.Data, m.Data)
+	return d
+}
+
+// Row returns a view of row i.
+func (m *Dense32) Row(i int) []float32 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// Narrow writes src rounded to float32 into dst. It panics if the lengths
+// differ.
+func Narrow(dst []float32, src []float64) {
+	if len(dst) != len(src) {
+		panic("mat: Narrow length mismatch")
+	}
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+}
+
+// Widen writes src exactly converted to float64 into dst. It panics if the
+// lengths differ.
+func Widen(dst []float64, src []float32) {
+	if len(dst) != len(src) {
+		panic("mat: Widen length mismatch")
+	}
+	for i, v := range src {
+		dst[i] = float64(v)
+	}
+}
+
+// MulMatT32 computes dst = a * bᵀ (a is m x k, b is n x k, dst is m x n):
+// the f32-tier batched Linear forward. dst must not alias a or b. It panics
+// on shape mismatches.
+func MulMatT32(dst, a, b *Dense32) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic("mat: MulMatT32 shape mismatch")
+	}
+	grain := kernelGrain(a.Cols * b.Rows)
+	if Parallelism() == 1 || a.Rows <= grain {
+		mulMatTRange32(dst, a, b, nil, 0, a.Rows)
+		return
+	}
+	ParallelFor(a.Rows, grain, func(lo, hi int) {
+		mulMatTRange32(dst, a, b, nil, lo, hi)
+	})
+}
+
+// MulMatTAddRow32 computes dst = a * bᵀ with row added to every output row:
+// the fused f32-tier linear-layer forward. It panics on shape mismatches.
+func MulMatTAddRow32(dst, a, b *Dense32, row []float32) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic("mat: MulMatTAddRow32 shape mismatch")
+	}
+	if len(row) != dst.Cols {
+		panic("mat: MulMatTAddRow32 row length mismatch")
+	}
+	grain := kernelGrain(a.Cols * b.Rows)
+	if Parallelism() == 1 || a.Rows <= grain {
+		mulMatTRange32(dst, a, b, row, 0, a.Rows)
+		return
+	}
+	ParallelFor(a.Rows, grain, func(lo, hi int) {
+		mulMatTRange32(dst, a, b, row, lo, hi)
+	})
+}
+
+// mulMatTRange32 computes rows lo..hi of dst = a * bᵀ (+ bias). Four output
+// columns run at a time and each column keeps TWO partial sums — even and
+// odd positions of the dot product — folded after the loop: 8 independent
+// chains in flight, which saturates the FP pipes a 4-chain serial-order
+// kernel cannot.
+func mulMatTRange32(dst, a, b *Dense32, bias []float32, lo, hi int) {
+	k := a.Cols
+	n := b.Rows
+	if useAVX2 && k > 0 && n > 0 {
+		for i := lo; i < hi; i++ {
+			out := dst.Data[i*n : (i+1)*n]
+			f32GemmRow(&out[0], &a.Data[i*k], &b.Data[0], n, k)
+			if bias != nil {
+				for j, bv := range bias {
+					out[j] += bv
+				}
+			}
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		ar := a.Data[i*k : (i+1)*k]
+		out := dst.Data[i*n : (i+1)*n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := b.Data[j*k:][:len(ar)]
+			b1 := b.Data[(j+1)*k:][:len(ar)]
+			b2 := b.Data[(j+2)*k:][:len(ar)]
+			b3 := b.Data[(j+3)*k:][:len(ar)]
+			var s0a, s0b, s1a, s1b, s2a, s2b, s3a, s3b float32
+			p := 0
+			for ; p+2 <= k; p += 2 {
+				av0, av1 := ar[p], ar[p+1]
+				s0a += av0 * b0[p]
+				s0b += av1 * b0[p+1]
+				s1a += av0 * b1[p]
+				s1b += av1 * b1[p+1]
+				s2a += av0 * b2[p]
+				s2b += av1 * b2[p+1]
+				s3a += av0 * b3[p]
+				s3b += av1 * b3[p+1]
+			}
+			if p < k {
+				av := ar[p]
+				s0a += av * b0[p]
+				s1a += av * b1[p]
+				s2a += av * b2[p]
+				s3a += av * b3[p]
+			}
+			s0 := s0a + s0b
+			s1 := s1a + s1b
+			s2 := s2a + s2b
+			s3 := s3a + s3b
+			if bias != nil {
+				s0 += bias[j]
+				s1 += bias[j+1]
+				s2 += bias[j+2]
+				s3 += bias[j+3]
+			}
+			out[j] = s0
+			out[j+1] = s1
+			out[j+2] = s2
+			out[j+3] = s3
+		}
+		for ; j < n; j++ {
+			br := b.Data[j*k:][:len(ar)]
+			var sa, sb float32
+			p := 0
+			for ; p+2 <= k; p += 2 {
+				sa += ar[p] * br[p]
+				sb += ar[p+1] * br[p+1]
+			}
+			if p < k {
+				sa += ar[p] * br[p]
+			}
+			s := sa + sb
+			if bias != nil {
+				s += bias[j]
+			}
+			out[j] = s
+		}
+	}
+}
+
+// MulVec32 computes dst = m * x: the f32-tier single-vector forward. Four
+// rows run at a time, each with the split even/odd chains of the GEMM
+// kernel. It panics on shape mismatches.
+func MulVec32(m *Dense32, dst, x []float32) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic("mat: MulVec32 shape mismatch")
+	}
+	k := m.Cols
+	if useAVX2 && k > 0 && m.Rows > 0 {
+		// Same per-row kernel as the GEMM path, so single-vector results
+		// stay bit-identical to batched rows.
+		f32GemmRow(&dst[0], &x[0], &m.Data[0], m.Rows, k)
+		return
+	}
+	i := 0
+	for ; i+4 <= m.Rows; i += 4 {
+		r0 := m.Data[i*k:][:len(x)]
+		r1 := m.Data[(i+1)*k:][:len(x)]
+		r2 := m.Data[(i+2)*k:][:len(x)]
+		r3 := m.Data[(i+3)*k:][:len(x)]
+		var s0a, s0b, s1a, s1b, s2a, s2b, s3a, s3b float32
+		p := 0
+		for ; p+2 <= k; p += 2 {
+			x0, x1 := x[p], x[p+1]
+			s0a += x0 * r0[p]
+			s0b += x1 * r0[p+1]
+			s1a += x0 * r1[p]
+			s1b += x1 * r1[p+1]
+			s2a += x0 * r2[p]
+			s2b += x1 * r2[p+1]
+			s3a += x0 * r3[p]
+			s3b += x1 * r3[p+1]
+		}
+		if p < k {
+			xv := x[p]
+			s0a += xv * r0[p]
+			s1a += xv * r1[p]
+			s2a += xv * r2[p]
+			s3a += xv * r3[p]
+		}
+		dst[i] = s0a + s0b
+		dst[i+1] = s1a + s1b
+		dst[i+2] = s2a + s2b
+		dst[i+3] = s3a + s3b
+	}
+	for ; i < m.Rows; i++ {
+		row := m.Data[i*k:][:len(x)]
+		var sa, sb float32
+		p := 0
+		for ; p+2 <= k; p += 2 {
+			sa += x[p] * row[p]
+			sb += x[p+1] * row[p+1]
+		}
+		if p < k {
+			sa += x[p] * row[p]
+		}
+		dst[i] = sa + sb
+	}
+}
+
+// Tanh32 coefficients: the rational minimax approximation tanh(x) ≈ p(x)/q(x)
+// with p odd of degree 13 and q even of degree 6, accurate to a few float32
+// ulps over the clamp range. Beyond ±tanh32Clamp, float32 tanh is exactly ±1.
+const (
+	tanh32Clamp = 7.90531110763549805
+
+	tanh32Alpha1  = 4.89352455891786e-03
+	tanh32Alpha3  = 6.37261928875436e-04
+	tanh32Alpha5  = 1.48572235717979e-05
+	tanh32Alpha7  = 5.12229709037114e-08
+	tanh32Alpha9  = -8.60467152213735e-11
+	tanh32Alpha11 = 2.00018790482477e-13
+	tanh32Alpha13 = -2.76076847742355e-16
+
+	tanh32Beta0 = 4.89352518554385e-03
+	tanh32Beta2 = 2.26843463243900e-03
+	tanh32Beta4 = 1.18534705686654e-04
+	tanh32Beta6 = 1.19825839466702e-06
+)
+
+// tanh32 evaluates the rational approximation for one value.
+func tanh32(x float32) float32 {
+	if x > tanh32Clamp {
+		x = tanh32Clamp
+	} else if x < -tanh32Clamp {
+		x = -tanh32Clamp
+	}
+	x2 := x * x
+	p := float32(tanh32Alpha13)
+	p = p*x2 + tanh32Alpha11
+	p = p*x2 + tanh32Alpha9
+	p = p*x2 + tanh32Alpha7
+	p = p*x2 + tanh32Alpha5
+	p = p*x2 + tanh32Alpha3
+	p = p*x2 + tanh32Alpha1
+	p = p * x
+	q := float32(tanh32Beta6)
+	q = q*x2 + tanh32Beta4
+	q = q*x2 + tanh32Beta2
+	q = q*x2 + tanh32Beta0
+	return p / q
+}
+
+// Tanh32 applies the f32-tier tanh element-wise, writing into dst (which
+// may alias src): a branch-light polynomial-ratio evaluation instead of the
+// libm call the f64 path pays per element. Maximum error versus the true
+// tanh is a few float32 ulps. It panics if the lengths differ.
+func Tanh32(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic("mat: Tanh32 length mismatch")
+	}
+	for i, v := range src {
+		dst[i] = tanh32(v)
+	}
+}
+
+// Argmax32 returns the index of the largest element of v, or -1 for an
+// empty slice. Ties resolve to the lowest index, matching Argmax.
+func Argmax32(v []float32) int {
+	if len(v) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// MaxAbs32 returns the largest absolute value in v, or 0 for an empty
+// slice. Finite non-negative float32 values order like their bit patterns,
+// so the scan masks the sign bit and takes an integer max — branch-free
+// where the float compare mispredicts on noisy data. NaN inputs are
+// unsupported (a NaN would compare above +Inf).
+func MaxAbs32(v []float32) float32 {
+	var m uint32
+	for _, x := range v {
+		m = max(m, math.Float32bits(x)&^(1<<31))
+	}
+	return math.Float32frombits(m)
+}

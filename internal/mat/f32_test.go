@@ -1,0 +1,238 @@
+package mat
+
+import (
+	"math"
+	"testing"
+)
+
+// fill32 narrows a deterministically-filled f64 matrix pair into f32.
+func tierTestMats(m, k, n int, seed uint64) (a64, b64 *Dense, a32, b32 *Dense32) {
+	a64 = NewDense(m, k)
+	b64 = NewDense(n, k)
+	rng := NewRNG(seed)
+	for i := range a64.Data {
+		a64.Data[i] = 2*rng.Float64() - 1
+	}
+	for i := range b64.Data {
+		b64.Data[i] = 2*rng.Float64() - 1
+	}
+	// Sprinkle exact zeros: the f64 kernels have zero-skip paths and the
+	// comparison must hold on sparse-ish inputs too.
+	for i := 0; i < len(a64.Data); i += 7 {
+		a64.Data[i] = 0
+	}
+	return a64, b64, Dense32From(a64), Dense32From(b64)
+}
+
+// ulpDiff32 returns the number of representable float32 steps between a and
+// b (0 when bit-equal). NaNs and infinities count as far apart.
+func ulpDiff32(a, b float32) int64 {
+	ia := int64(int32(math.Float32bits(a)))
+	ib := int64(int32(math.Float32bits(b)))
+	// Map the sign-magnitude bit patterns onto one monotone integer line
+	// (negative floats sort below positives, ±0 coincide).
+	if ia < 0 {
+		ia = math.MinInt32 - ia
+	}
+	if ib < 0 {
+		ib = math.MinInt32 - ib
+	}
+	d := ia - ib
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// maxUlpDrift32 is the documented per-element bound between the f32 kernel
+// result and the f64 reference rounded to float32, for the codec-scale
+// shapes (k <= a few hundred): the relaxed even/odd accumulation order plus
+// float32 rounding stay within this many ulps of the correctly-rounded
+// serial result.
+const maxUlpDrift32 = 256
+
+func TestMulMatT32TracksF64Reference(t *testing.T) {
+	for _, sh := range gemmShapes {
+		a64, b64, a32, b32 := tierTestMats(sh.m, sh.k, sh.n, 11)
+		want := NewDense(sh.m, sh.n)
+		MulMatT(want, a64, b64)
+		got := NewDense32(sh.m, sh.n)
+		MulMatT32(got, a32, b32)
+		for i, g := range got.Data {
+			w := float32(want.Data[i])
+			d := ulpDiff32(g, w)
+			if d <= maxUlpDrift32 {
+				continue
+			}
+			// Cancelling dot products make result-relative ulp counts
+			// meaningless; fall back to an absolute bound scaled by the
+			// magnitude of the terms that were summed.
+			r, c := i/sh.n, i%sh.n
+			scale := 0.0
+			for p := 0; p < sh.k; p++ {
+				scale += math.Abs(a64.Row(r)[p] * b64.Row(c)[p])
+			}
+			if tol := float64(sh.k+8) * 1.2e-7 * (scale + 1); math.Abs(float64(g)-want64(want, i)) > tol {
+				t.Fatalf("%dx%dx%d: elem %d: f32 %v vs f64 %v (%d ulps, scale %v)",
+					sh.m, sh.k, sh.n, i, g, w, d, scale)
+			}
+		}
+	}
+}
+
+// want64 reads the f64 reference element (helper keeping the tolerance line
+// readable).
+func want64(m *Dense, i int) float64 { return m.Data[i] }
+
+func TestMulMatTAddRow32FusesBias(t *testing.T) {
+	for _, sh := range gemmShapes {
+		_, _, a32, b32 := tierTestMats(sh.m, sh.k, sh.n, 23)
+		bias := make([]float32, sh.n)
+		for i := range bias {
+			bias[i] = float32(i%5) - 2.5
+		}
+		plain := NewDense32(sh.m, sh.n)
+		MulMatT32(plain, a32, b32)
+		fused := NewDense32(sh.m, sh.n)
+		MulMatTAddRow32(fused, a32, b32, bias)
+		for i := 0; i < sh.m; i++ {
+			for j := 0; j < sh.n; j++ {
+				want := plain.Data[i*sh.n+j] + bias[j]
+				if got := fused.Data[i*sh.n+j]; got != want {
+					t.Fatalf("%dx%dx%d: (%d,%d) = %v, want %v", sh.m, sh.k, sh.n, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMulVec32MatchesGEMMRows(t *testing.T) {
+	// MulVec32 and the GEMM kernel share the even/odd chain structure, so a
+	// row of MulMatT32 output must be bit-identical to MulVec32 on that row.
+	for _, sh := range gemmShapes {
+		_, _, a32, b32 := tierTestMats(sh.m, sh.k, sh.n, 37)
+		gem := NewDense32(sh.m, sh.n)
+		MulMatT32(gem, a32, b32)
+		dst := make([]float32, sh.n)
+		for i := 0; i < sh.m; i++ {
+			MulVec32(b32, dst, a32.Row(i))
+			for j, v := range dst {
+				if v != gem.Data[i*sh.n+j] {
+					t.Fatalf("%dx%dx%d: row %d col %d: MulVec32 %v vs GEMM %v",
+						sh.m, sh.k, sh.n, i, j, v, gem.Data[i*sh.n+j])
+				}
+			}
+		}
+	}
+}
+
+func TestMulMatT32DeterministicAcrossWorkers(t *testing.T) {
+	prev := Parallelism()
+	defer SetParallelism(prev)
+	_, _, a32, b32 := tierTestMats(300, 128, 257, 41)
+	SetParallelism(1)
+	serial := NewDense32(300, 257)
+	MulMatT32(serial, a32, b32)
+	for _, workers := range []int{2, 8} {
+		SetParallelism(workers)
+		par := NewDense32(300, 257)
+		MulMatT32(par, a32, b32)
+		for i, v := range par.Data {
+			if v != serial.Data[i] {
+				t.Fatalf("workers=%d: elem %d differs: %v vs %v", workers, i, v, serial.Data[i])
+			}
+		}
+	}
+}
+
+func TestTanh32AccuracyAndRange(t *testing.T) {
+	// Sweep a dense grid plus the clamp boundaries; the rational
+	// approximation must stay within a few float32 ulps of libm tanh and
+	// never leave [-1, 1].
+	vals := []float64{0, 1e-9, -1e-9, 1e-4, 0.5, -0.5, 1, -1, 3, -3, 7.9, -7.9, 8, -8, 50, -50, 1000}
+	for v := -8.0; v <= 8.0; v += 0.037 {
+		vals = append(vals, v)
+	}
+	for _, v := range vals {
+		got := tanh32(float32(v))
+		want := float32(math.Tanh(v))
+		if d := ulpDiff32(got, want); d > 8 {
+			t.Fatalf("tanh32(%v) = %v, want %v (%d ulps)", v, got, want, d)
+		}
+		if got > 1 || got < -1 {
+			t.Fatalf("tanh32(%v) = %v out of [-1,1]", v, got)
+		}
+	}
+	out := make([]float32, 4)
+	Tanh32(out, []float32{-100, 0, 0.25, 100})
+	if out[0] != -1 && ulpDiff32(out[0], -1) > 1 {
+		t.Fatalf("Tanh32(-100) = %v", out[0])
+	}
+	if out[1] != 0 {
+		t.Fatalf("Tanh32(0) = %v, want 0", out[1])
+	}
+}
+
+func TestArgmax32MatchesArgmax(t *testing.T) {
+	cases := [][]float32{
+		{},
+		{1},
+		{1, 1, 1},
+		{3, 1, 3},
+		{-5, -2, -9},
+		{0, -0, 2, 2},
+	}
+	for _, c := range cases {
+		wide := make([]float64, len(c))
+		Widen(wide, c)
+		if got, want := Argmax32(c), Argmax(wide); got != want {
+			t.Fatalf("Argmax32(%v) = %d, want %d", c, got, want)
+		}
+	}
+}
+
+func TestNarrowWidenRoundTrip(t *testing.T) {
+	src := []float64{0, 1, -1, 0.1, 1e-30, 1e30, -3.25}
+	n := make([]float32, len(src))
+	Narrow(n, src)
+	w := make([]float64, len(src))
+	Widen(w, n)
+	for i := range src {
+		if float32(src[i]) != n[i] || w[i] != float64(n[i]) {
+			t.Fatalf("round trip mismatch at %d: %v -> %v -> %v", i, src[i], n[i], w[i])
+		}
+	}
+}
+
+func TestScratchNarrowArenas(t *testing.T) {
+	sc := GetScratch()
+	defer PutScratch(sc)
+	v := sc.Vec32(10)
+	bts := sc.Bytes(7)
+	is := sc.I32(3)
+	if len(v) != 10 || len(bts) != 7 || len(is) != 3 {
+		t.Fatalf("arena lengths wrong: %d %d %d", len(v), len(bts), len(is))
+	}
+	m := sc.Mat32(0, 4)
+	if m.Rows != 0 {
+		t.Fatalf("Mat32(0,4) rows = %d", m.Rows)
+	}
+	m2 := sc.Mat32(3, 4)
+	for i := range m2.Data {
+		m2.Data[i] = float32(i)
+	}
+	sc.Reset()
+	m3 := sc.Mat32(2, 2)
+	_ = m3
+	// After warm-up the arenas must be allocation-free.
+	allocs := testing.AllocsPerRun(100, func() {
+		sc.Reset()
+		sc.Vec32(10)
+		sc.Bytes(7)
+		sc.I32(3)
+		sc.Mat32(3, 4)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state narrow-arena allocs = %v, want 0", allocs)
+	}
+}

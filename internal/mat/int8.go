@@ -1,0 +1,238 @@
+package mat
+
+// This file implements the int8 post-training-quantized kernel tier. A
+// QMat8 holds weight rows as 8-bit codes on a per-row 256-level affine
+// grid — the same grid channel.Quantizer{Bits: 8} defines (idx =
+// trunc((v-Lo)/span*255), value = Lo + idx*step) — so a quantized weight
+// dequantizes as Lo[r] + Scale[r]*code. The GEMM quantizes each activation
+// row onto its own grid at call time, accumulates pure uint8xuint8 products
+// in int32, and dequantizes on output via the expanded affine dot product:
+//
+//	dot(x̂, ŵ) = sx*sw*Σcx·cw + lox*sw*Σcw + low*sx*Σcx + k*lox*low
+//
+// where the per-row code sums Σcw are precomputed at quantization time and
+// Σcx at activation-quantization time, leaving one integer inner product
+// per output element. With k ≤ 255² rows the int32 accumulator cannot
+// overflow for any k the codec uses (255*255*k < 2³¹ for k up to ~33000).
+
+// QMat8 is an 8-bit post-training-quantized row-major matrix. Codes decode
+// as value = Lo[r] + Scale[r]*code on row r's grid. Scale is the grid step
+// (span/255); a row of all-zero source values stores Lo = Scale = 0 so it
+// dequantizes to exactly zero. Rows are stored at a 16-byte-aligned Stride
+// with zero codes in the padding, so the SIMD kernel runs pure 16-code
+// steps with no tail (zero pad codes multiply against zero pad codes and
+// contribute nothing to any dot product).
+type QMat8 struct {
+	Rows, Cols int
+	Stride     int       // Cols rounded up to a multiple of 16
+	Code       []uint8   // Rows*Stride codes, zero in the padding
+	Lo         []float32 // per-row grid origin (level 0 value)
+	Scale      []float32 // per-row grid step
+	CodeSum    []int32   // per-row Σ codes, for the affine expansion
+}
+
+// q8Align pads a code-row length to the SIMD kernel's 16-code step.
+func q8Align(k int) int { return (k + 15) &^ 15 }
+
+// NewQMat8 allocates an empty r x c quantized matrix. It panics if either
+// dimension is not positive.
+func NewQMat8(r, c int) *QMat8 {
+	if r <= 0 || c <= 0 {
+		panic("mat: NewQMat8 dimensions must be positive")
+	}
+	stride := q8Align(c)
+	return &QMat8{
+		Rows:    r,
+		Cols:    c,
+		Stride:  stride,
+		Code:    make([]uint8, r*stride),
+		Lo:      make([]float32, r),
+		Scale:   make([]float32, r),
+		CodeSum: make([]int32, r),
+	}
+}
+
+// Row returns a view of row i's codes (without the stride padding).
+func (m *QMat8) Row(i int) []uint8 {
+	return m.Code[i*m.Stride:][:m.Cols]
+}
+
+// SetRow installs row i from codes on the grid [lo, lo+255*scale],
+// recomputing the row's code sum. It panics on length mismatch.
+func (m *QMat8) SetRow(i int, codes []uint8, lo, scale float32) {
+	if len(codes) != m.Cols {
+		panic("mat: QMat8.SetRow length mismatch")
+	}
+	copy(m.Row(i), codes)
+	m.Lo[i] = lo
+	m.Scale[i] = scale
+	var sum int32
+	for _, c := range codes {
+		sum += int32(c)
+	}
+	m.CodeSum[i] = sum
+}
+
+// QuantizeRowQ8 quantizes src onto a symmetric 256-level affine grid over
+// [-m, m] with m = max|src|, writing codes into dst and returning the grid
+// origin (-m), step (2m/255) and code sum. The index math runs in float64
+// and truncates — bit-identical to channel.Quantizer{Bits: 8, Lo: -m,
+// Hi: m}.Index on every value (pinned by a cross-package test) — so weight
+// rows quantized through the channel machinery and activation rows
+// quantized here land on the same grid. An all-zero row returns lo = scale
+// = 0 with all-zero codes, dequantizing to exactly zero. It panics if the
+// lengths differ.
+func QuantizeRowQ8(dst []uint8, src []float32) (lo, scale float32, sum int32) {
+	if len(dst) != len(src) {
+		panic("mat: QuantizeRowQ8 length mismatch")
+	}
+	m := MaxAbs32(src)
+	if m == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return 0, 0, 0
+	}
+	lo64 := -float64(m)
+	span := 2 * float64(m)
+	for i, v := range src {
+		idx := int((float64(v) - lo64) / span * 255)
+		if idx < 0 {
+			idx = 0
+		} else if idx > 255 {
+			idx = 255
+		}
+		dst[i] = uint8(idx)
+		sum += int32(idx)
+	}
+	return float32(lo64), float32(span / 255), sum
+}
+
+// MulMatTQ8AddRow computes dst = x * ŵᵀ + bias where w holds int8-quantized
+// weight rows: the int8-tier fused linear-layer forward. Each activation
+// row of x is quantized onto its own symmetric 256-level grid (temporaries
+// from sc), the inner products run entirely in int32, and outputs
+// dequantize into float32. bias may be nil. dst must not alias x. It panics
+// on shape mismatches.
+func MulMatTQ8AddRow(sc *Scratch, dst, x *Dense32, w *QMat8, bias []float32) {
+	if x.Cols != w.Cols || dst.Rows != x.Rows || dst.Cols != w.Rows {
+		panic("mat: MulMatTQ8AddRow shape mismatch")
+	}
+	if bias != nil && len(bias) != dst.Cols {
+		panic("mat: MulMatTQ8AddRow bias length mismatch")
+	}
+	k := x.Cols
+	kp := w.Stride
+	n := w.Rows
+	// Quantize every activation row up front (serial: sc is not safe for
+	// concurrent use); the GEMM below only reads these buffers. Activation
+	// code rows share the weight stride, zero-padded like QMat8 rows.
+	cx := sc.Bytes(x.Rows * kp)
+	if kp != k {
+		for i := 0; i < x.Rows; i++ {
+			pad := cx[i*kp+k : (i+1)*kp]
+			for j := range pad {
+				pad[j] = 0
+			}
+		}
+	}
+	xlo := sc.Vec32(x.Rows)
+	xscale := sc.Vec32(x.Rows)
+	xsum := sc.I32(x.Rows)
+	for i := 0; i < x.Rows; i++ {
+		xlo[i], xscale[i], xsum[i] = QuantizeRowQ8(cx[i*kp:i*kp+k], x.Row(i))
+	}
+	grain := kernelGrain(k * n)
+	if Parallelism() == 1 || x.Rows <= grain {
+		mulMatTQ8Range(dst, cx, xlo, xscale, xsum, w, bias, k, n, 0, x.Rows)
+		return
+	}
+	ParallelFor(x.Rows, grain, func(lo, hi int) {
+		mulMatTQ8Range(dst, cx, xlo, xscale, xsum, w, bias, k, n, lo, hi)
+	})
+}
+
+// mulMatTQ8Range computes rows lo..hi of the quantized GEMM. Four output
+// columns run at a time with one int32 accumulator chain each; integer adds
+// are single-cycle, so four chains already saturate the ALUs without the
+// even/odd split the float kernels need.
+func mulMatTQ8Range(dst *Dense32, cx []uint8, xlo, xscale []float32, xsum []int32, w *QMat8, bias []float32, k, n, lo, hi int) {
+	kf := float32(k)
+	kp := w.Stride
+	if useAVX2 && k > 0 && n > 0 {
+		// Integer dots per activation row via the VPMADDWD kernel (pure
+		// 16-code steps over the zero-padded stride), in fixed-size column
+		// chunks so the dot buffer lives on the stack (this range may run
+		// inside a parallel worker, which must not touch the caller's
+		// scratch).
+		var dots [256]int32
+		for i := lo; i < hi; i++ {
+			out := dst.Data[i*n : (i+1)*n]
+			lox := xlo[i]
+			sx := xscale[i]
+			// Factored dequant: sw*(sx*dot + lox*Σcw) + low*cx1 (+ bias),
+			// with cx1 = sx*Σcx + k*lox shared by every output column.
+			cx1 := sx*float32(xsum[i]) + kf*lox
+			for j0 := 0; j0 < n; j0 += len(dots) {
+				jn := min(len(dots), n-j0)
+				q8GemmRow(&dots[0], &cx[i*kp], &w.Code[j0*kp], jn, kp)
+				for jj := 0; jj < jn; jj++ {
+					j := j0 + jj
+					v := w.Scale[j]*(sx*float32(dots[jj])+lox*float32(w.CodeSum[j])) + w.Lo[j]*cx1
+					if bias != nil {
+						v += bias[j]
+					}
+					out[j] = v
+				}
+			}
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		ar := cx[i*kp : i*kp+k]
+		out := dst.Data[i*n : (i+1)*n]
+		lox := xlo[i]
+		sx := xscale[i]
+		cx1 := sx*float32(xsum[i]) + kf*lox
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := w.Code[j*kp:][:len(ar)]
+			b1 := w.Code[(j+1)*kp:][:len(ar)]
+			b2 := w.Code[(j+2)*kp:][:len(ar)]
+			b3 := w.Code[(j+3)*kp:][:len(ar)]
+			var d0, d1, d2, d3 int32
+			for p, av := range ar {
+				a := int32(av)
+				d0 += a * int32(b0[p])
+				d1 += a * int32(b1[p])
+				d2 += a * int32(b2[p])
+				d3 += a * int32(b3[p])
+			}
+			out[j] = dequantQ8(d0, lox, sx, cx1, w, bias, j)
+			out[j+1] = dequantQ8(d1, lox, sx, cx1, w, bias, j+1)
+			out[j+2] = dequantQ8(d2, lox, sx, cx1, w, bias, j+2)
+			out[j+3] = dequantQ8(d3, lox, sx, cx1, w, bias, j+3)
+		}
+		for ; j < n; j++ {
+			br := w.Code[j*kp:][:len(ar)]
+			var d int32
+			for p, av := range ar {
+				d += int32(av) * int32(br[p])
+			}
+			out[j] = dequantQ8(d, lox, sx, cx1, w, bias, j)
+		}
+	}
+}
+
+// dequantQ8 expands one integer dot product back to float32 using the
+// factored affine expansion sw*(sx*Σcx·cw + lox*Σcw) + low*(sx*Σcx + k*lox)
+// (+ bias), where the caller precomputes cx1 = sx*Σcx + k*lox once per
+// activation row. Identical operation order to the AVX2 path's inline
+// expansion, so both paths produce the same bits.
+func dequantQ8(dot int32, lox, sx, cx1 float32, w *QMat8, bias []float32, j int) float32 {
+	v := w.Scale[j]*(sx*float32(dot)+lox*float32(w.CodeSum[j])) + w.Lo[j]*cx1
+	if bias != nil {
+		v += bias[j]
+	}
+	return v
+}

@@ -1,0 +1,135 @@
+package mat
+
+import (
+	"math"
+	"testing"
+)
+
+// quantizeDense builds a QMat8 from a float64 matrix with QuantizeRowQ8,
+// plus the dequantized float64 view for reference computations.
+func quantizeDense(m *Dense) (*QMat8, *Dense) {
+	q := NewQMat8(m.Rows, m.Cols)
+	deq := NewDense(m.Rows, m.Cols)
+	row32 := make([]float32, m.Cols)
+	codes := make([]uint8, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		Narrow(row32, m.Row(i))
+		lo, scale, _ := QuantizeRowQ8(codes, row32)
+		q.SetRow(i, codes, lo, scale)
+		for j, c := range codes {
+			deq.Row(i)[j] = float64(lo) + float64(scale)*float64(c)
+		}
+	}
+	return q, deq
+}
+
+func TestQuantizeRowQ8RoundTrip(t *testing.T) {
+	rng := NewRNG(5)
+	src := make([]float32, 97)
+	for i := range src {
+		src[i] = float32(4*rng.Float64() - 2)
+	}
+	src[0], src[13] = 2, -2 // exact range endpoints
+	codes := make([]uint8, len(src))
+	lo, scale, sum := QuantizeRowQ8(codes, src)
+	if lo != -2 || scale <= 0 {
+		t.Fatalf("grid lo=%v scale=%v", lo, scale)
+	}
+	var wantSum int32
+	for i, c := range codes {
+		wantSum += int32(c)
+		back := lo + scale*float32(c)
+		// Truncating grid: reconstruction sits within one step below v.
+		if diff := float64(src[i] - back); diff < -1e-6 || diff > float64(scale)+1e-6 {
+			t.Fatalf("elem %d: %v -> code %d -> %v (step %v)", i, src[i], c, back, scale)
+		}
+	}
+	if sum != wantSum {
+		t.Fatalf("code sum %d, want %d", sum, wantSum)
+	}
+	// Range endpoints hit the grid exactly.
+	if codes[0] != 255 || codes[13] != 0 {
+		t.Fatalf("endpoint codes = %d, %d; want 255, 0", codes[0], codes[13])
+	}
+}
+
+func TestQuantizeRowQ8ZeroRow(t *testing.T) {
+	src := make([]float32, 8)
+	codes := make([]uint8, 8)
+	codes[3] = 99 // stale data must be overwritten
+	lo, scale, sum := QuantizeRowQ8(codes, src)
+	if lo != 0 || scale != 0 || sum != 0 {
+		t.Fatalf("zero row: lo=%v scale=%v sum=%d", lo, scale, sum)
+	}
+	for i, c := range codes {
+		if c != 0 {
+			t.Fatalf("zero row code %d = %d", i, c)
+		}
+	}
+}
+
+func TestMulMatTQ8AddRowMatchesDequantizedReference(t *testing.T) {
+	sc := GetScratch()
+	defer PutScratch(sc)
+	for _, sh := range gemmShapes {
+		a64, b64, a32, _ := tierTestMats(sh.m, sh.k, sh.n, 77)
+		_ = a64
+		qb, deqB := quantizeDense(b64)
+		bias := make([]float32, sh.n)
+		for i := range bias {
+			bias[i] = float32(i%3) - 1
+		}
+		sc.Reset()
+		got := NewDense32(sh.m, sh.n)
+		MulMatTQ8AddRow(sc, got, a32, qb, bias)
+		// Reference: quantize the activations the same way, then run the
+		// dot products in float64 on the dequantized values.
+		deqA := NewDense(sh.m, sh.k)
+		codes := make([]uint8, sh.k)
+		for i := 0; i < sh.m; i++ {
+			lo, scale, _ := QuantizeRowQ8(codes, a32.Row(i))
+			for j, c := range codes {
+				deqA.Row(i)[j] = float64(lo) + float64(scale)*float64(c)
+			}
+		}
+		for i := 0; i < sh.m; i++ {
+			for j := 0; j < sh.n; j++ {
+				want := float64(bias[j])
+				for p := 0; p < sh.k; p++ {
+					want += deqA.Row(i)[p] * deqB.Row(j)[p]
+				}
+				g := float64(got.Data[i*sh.n+j])
+				// The kernel's affine expansion runs in float32; allow
+				// float32-rounding-scale slack around the f64 reference.
+				tol := 1e-4 * (1 + math.Abs(want))
+				if math.Abs(g-want) > tol {
+					t.Fatalf("%dx%dx%d: (%d,%d) = %v, want %v", sh.m, sh.k, sh.n, i, j, g, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMulMatTQ8DeterministicAcrossWorkers(t *testing.T) {
+	prev := Parallelism()
+	defer SetParallelism(prev)
+	_, b64, a32, _ := tierTestMats(300, 128, 257, 91)
+	qb, _ := quantizeDense(b64)
+	runAt := func(workers int) *Dense32 {
+		SetParallelism(workers)
+		sc := GetScratch()
+		defer PutScratch(sc)
+		dst := NewDense32(300, 257)
+		MulMatTQ8AddRow(sc, dst, a32, qb, nil)
+		return dst
+	}
+	serial := runAt(1)
+	for _, workers := range []int{2, 8} {
+		par := runAt(workers)
+		for i, v := range par.Data {
+			if v != serial.Data[i] {
+				t.Fatalf("workers=%d: elem %d differs: %v vs %v", workers, i, v, serial.Data[i])
+			}
+		}
+	}
+}

@@ -70,6 +70,42 @@ func (r *RNG) NormFloat64() float64 {
 	}
 }
 
+// NormFloat64Block fills dst with standard normal deviates, producing the
+// EXACT sequence that len(dst) successive NormFloat64 calls would — it
+// consumes a cached spare first and caches a spare when the block ends on
+// the first half of a polar pair — so callers can amortize per-value call
+// overhead without perturbing the stream. Interleaving block and scalar
+// draws on one generator is therefore always bit-identical to scalar-only
+// draws.
+func (r *RNG) NormFloat64Block(dst []float64) {
+	i := 0
+	if r.hasSpare && i < len(dst) {
+		r.hasSpare = false
+		dst[i] = r.spare
+		i++
+	}
+	// Whole pairs: generate both polar deviates without touching the spare.
+	for ; i+2 <= len(dst); i += 2 {
+		for {
+			u := 2*r.Float64() - 1
+			v := 2*r.Float64() - 1
+			s := u*u + v*v
+			if s >= 1 || s == 0 {
+				continue
+			}
+			f := math.Sqrt(-2 * math.Log(s) / s)
+			dst[i] = u * f
+			dst[i+1] = v * f
+			break
+		}
+	}
+	if i < len(dst) {
+		// Odd tail: the scalar path caches the pair's second deviate as the
+		// spare, exactly like a plain NormFloat64 call.
+		dst[i] = r.NormFloat64()
+	}
+}
+
 // Perm returns a pseudo-random permutation of [0, n).
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)

@@ -1,0 +1,39 @@
+package mat
+
+import "testing"
+
+// TestNormFloat64BlockMatchesScalar proves the block fill is bit-identical
+// to repeated scalar draws, including spare handling across odd-sized
+// blocks interleaved with scalar calls — the property the channel layer's
+// noise amortization rests on.
+func TestNormFloat64BlockMatchesScalar(t *testing.T) {
+	scalar := NewRNG(99)
+	mixed := NewRNG(99)
+	var want, got []float64
+	// Sizes chosen to cycle the spare through every state: empty blocks,
+	// odd blocks (leave a spare), even blocks, and scalar draws in between.
+	sizes := []int{0, 1, 2, 3, 0, 5, 4, 7, 1, 1, 8, 3}
+	for _, n := range sizes {
+		for i := 0; i < n; i++ {
+			want = append(want, scalar.NormFloat64())
+		}
+		buf := make([]float64, n)
+		mixed.NormFloat64Block(buf)
+		got = append(got, buf...)
+		// One scalar draw between blocks exercises spare interleaving.
+		want = append(want, scalar.NormFloat64())
+		got = append(got, mixed.NormFloat64())
+	}
+	if len(want) != len(got) {
+		t.Fatalf("length mismatch: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("draw %d differs: scalar %v vs block %v", i, want[i], got[i])
+		}
+	}
+	// The generators must end in identical states.
+	if scalar.Uint64() != mixed.Uint64() {
+		t.Fatal("generator states diverged after block draws")
+	}
+}

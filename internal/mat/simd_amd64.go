@@ -1,0 +1,60 @@
+//go:build amd64
+
+package mat
+
+// useAVX2 reports whether the AVX2+FMA assembly kernels may run: the CPU
+// must advertise AVX2 and FMA3 and the OS must have enabled YMM state
+// (OSXSAVE + XCR0). Detected once at startup; the pure-Go loops remain the
+// reference fallback on older hardware.
+var useAVX2 = detectAVX2()
+
+func detectAVX2() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	if c1&fma == 0 || c1&osxsave == 0 || c1&avx == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE) and 2 (YMM) must both be OS-enabled.
+	xcr0, _ := xgetbv()
+	if xcr0&6 != 6 {
+		return false
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	return b7&avx2 != 0
+}
+
+// cpuid executes CPUID with the given leaf/subleaf.
+//
+//go:noescape
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0 (requires OSXSAVE).
+//
+//go:noescape
+func xgetbv() (eax, edx uint32)
+
+// f32GemmRow computes dst[j] = dot(a[0:k], b[j*k:j*k+k]) for j in [0, n):
+// one activation row against every weight row, 8-lane FMA accumulation
+// with a scalar tail. dst, a and b must reference at least n, k and n*k
+// floats respectively.
+//
+//go:noescape
+func f32GemmRow(dst, a, b *float32, n, k int)
+
+// q8GemmRow computes dst[j] = Σ_p int32(x[p])*int32(w[j*k+p]) for j in
+// [0, n): unsigned 8-bit codes multiplied exactly in int32 via zero-extend
+// to int16 and VPMADDWD. k must be a positive multiple of 16 (the QMat8
+// stride — the kernel runs pure 16-code steps with no tail). Safe for
+// k < 33000 (255*255*k fits int32).
+//
+//go:noescape
+func q8GemmRow(dst *int32, x, w *uint8, n, k int)

@@ -1,0 +1,14 @@
+//go:build !amd64
+
+package mat
+
+// Non-amd64 builds always run the pure-Go reference loops.
+const useAVX2 = false
+
+func f32GemmRow(dst, a, b *float32, n, k int) {
+	panic("mat: f32GemmRow without AVX2")
+}
+
+func q8GemmRow(dst *int32, x, w *uint8, n, k int) {
+	panic("mat: q8GemmRow without AVX2")
+}

@@ -1,0 +1,79 @@
+package nn
+
+import (
+	"repro/internal/channel"
+	"repro/internal/mat"
+)
+
+// This file builds the reduced-precision shadows of a Linear layer the
+// f32/int8 kernel tiers run on. Shadows are derived views: they are built
+// from (and never written back to) the float64 master weights, so training
+// and the bit-exact f64 serving tier are untouched. Callers cache shadows
+// and must rebuild them after mutating the master weights.
+
+// Linear32 is the float32 shadow of a Linear layer, used by the f32 kernel
+// tier.
+type Linear32 struct {
+	W *mat.Dense32 // Out x In
+	B []float32    // Out
+}
+
+// NewLinear32 narrows l's weights into a fresh float32 shadow.
+func NewLinear32(l *Linear) *Linear32 {
+	b := make([]float32, l.Out())
+	mat.Narrow(b, l.B.Row(0))
+	return &Linear32{W: mat.Dense32From(l.W), B: b}
+}
+
+// ForwardBatch computes dst = x*Wᵀ + b on the f32 kernels: deterministic,
+// but NOT bit-identical to the f64 Linear.ForwardBatch (relaxed
+// accumulation order; see mat.MulMatTAddRow32).
+func (l *Linear32) ForwardBatch(dst, x *mat.Dense32) {
+	mat.MulMatTAddRow32(dst, x, l.W, l.B)
+}
+
+// LinearQ8 is the int8 post-training-quantized shadow of a Linear layer:
+// each weight row lives as 8-bit codes on its own symmetric 256-level
+// affine grid, derived through the channel.Quantizer machinery (the same
+// scale/zero-point grid the wire quantizer uses). The bias stays float32
+// and is added after dequantization.
+type LinearQ8 struct {
+	W *mat.QMat8
+	B []float32
+}
+
+// NewLinearQ8 quantizes l's weights into a fresh int8 shadow. Each row r
+// uses the grid channel.Quantizer{Bits: 8, Lo: -m, Hi: m} with m =
+// max|W[r]|; an all-zero row stores a degenerate zero grid so it
+// dequantizes to exactly zero.
+func NewLinearQ8(l *Linear) *LinearQ8 {
+	out, in := l.Out(), l.In()
+	q := mat.NewQMat8(out, in)
+	codes := make([]uint8, in)
+	for r := 0; r < out; r++ {
+		row := l.W.Row(r)
+		m := mat.MaxAbs(row)
+		if m == 0 {
+			for i := range codes {
+				codes[i] = 0
+			}
+			q.SetRow(r, codes, 0, 0)
+			continue
+		}
+		qr := channel.Quantizer{Bits: 8, Lo: -m, Hi: m}
+		for i, v := range row {
+			codes[i] = uint8(qr.Index(v))
+		}
+		q.SetRow(r, codes, float32(qr.Lo), float32(qr.StepSize()))
+	}
+	b := make([]float32, out)
+	mat.Narrow(b, l.B.Row(0))
+	return &LinearQ8{W: q, B: b}
+}
+
+// ForwardBatch computes dst = x*ŵᵀ + b on the int8 kernels: activations
+// are quantized per row (temporaries from sc), products accumulate in
+// int32, and outputs dequantize into float32.
+func (l *LinearQ8) ForwardBatch(sc *mat.Scratch, dst, x *mat.Dense32) {
+	mat.MulMatTQ8AddRow(sc, dst, x, l.W, l.B)
+}

@@ -1,0 +1,121 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/mat"
+)
+
+func testLinear(in, out int, seed uint64) *Linear {
+	return NewLinear(mat.NewRNG(seed), in, out)
+}
+
+// TestActivationGridMatchesChannelQuantizer pins the contract between
+// mat.QuantizeRowQ8 (activation quantization inside the int8 GEMM) and the
+// channel.Quantizer grid (weight quantization here): identical codes for
+// every value, so weights and activations provably share one machinery.
+func TestActivationGridMatchesChannelQuantizer(t *testing.T) {
+	rng := mat.NewRNG(13)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(100)
+		src := make([]float32, n)
+		for i := range src {
+			src[i] = float32(6*rng.Float64() - 3)
+		}
+		if trial%3 == 0 {
+			src[rng.Intn(n)] = 0
+		}
+		codes := make([]uint8, n)
+		lo, scale, _ := mat.QuantizeRowQ8(codes, src)
+		m := float64(mat.MaxAbs32(src))
+		if m == 0 {
+			continue
+		}
+		q := channel.Quantizer{Bits: 8, Lo: -m, Hi: m}
+		if float64(lo) != float32ed(q.Lo) || float64(scale) != float32ed(q.StepSize()) {
+			t.Fatalf("trial %d: grid (%v,%v) vs channel (%v,%v)", trial, lo, scale, q.Lo, q.StepSize())
+		}
+		for i, v := range src {
+			if want := q.Index(float64(v)); int(codes[i]) != want {
+				t.Fatalf("trial %d elem %d: code %d, channel.Index %d (v=%v m=%v)",
+					trial, i, codes[i], want, v, m)
+			}
+		}
+	}
+}
+
+// float32ed rounds a float64 through float32, matching how the grids store
+// their parameters.
+func float32ed(v float64) float64 { return float64(float32(v)) }
+
+func TestLinear32ForwardTracksF64(t *testing.T) {
+	l := testLinear(48, 33, 5)
+	l32 := NewLinear32(l)
+	x := mat.NewDense(17, 48)
+	rng := mat.NewRNG(6)
+	for i := range x.Data {
+		x.Data[i] = 2*rng.Float64() - 1
+	}
+	want := mat.NewDense(17, 33)
+	l.ForwardBatch(want, x)
+	got := mat.NewDense32(17, 33)
+	l32.ForwardBatch(got, mat.Dense32From(x))
+	for i, g := range got.Data {
+		if diff := math.Abs(float64(g) - want.Data[i]); diff > 1e-5 {
+			t.Fatalf("elem %d: f32 %v vs f64 %v", i, g, want.Data[i])
+		}
+	}
+}
+
+func TestLinearQ8ForwardWithinQuantizationBudget(t *testing.T) {
+	l := testLinear(24, 59, 7)
+	lq := NewLinearQ8(l)
+	x := mat.NewDense(31, 24)
+	rng := mat.NewRNG(8)
+	for i := range x.Data {
+		x.Data[i] = 2*rng.Float64() - 1 // tanh-bounded activations, like the codec
+	}
+	want := mat.NewDense(31, 59)
+	l.ForwardBatch(want, x)
+	got := mat.NewDense32(31, 59)
+	sc := mat.GetScratch()
+	defer mat.PutScratch(sc)
+	lq.ForwardBatch(sc, got, mat.Dense32From(x))
+	// Error budget: one truncating-grid step per factor, summed over the
+	// fan-in. step_w <= 2*max|w|/255, step_x <= 2/255 here; the dot of k
+	// terms then drifts by at most k*(|x|*step_w + |w|*step_x + step_w*step_x).
+	var wmax float64
+	for _, v := range l.W.Data {
+		if a := math.Abs(v); a > wmax {
+			wmax = a
+		}
+	}
+	budget := float64(l.In()) * (2*wmax/255 + 2*(wmax+2.0/255)/255)
+	for i, g := range got.Data {
+		if diff := math.Abs(float64(g) - want.Data[i]); diff > budget {
+			t.Fatalf("elem %d: int8 %v vs f64 %v (diff %v > budget %v)", i, g, want.Data[i], diff, budget)
+		}
+	}
+}
+
+func TestLinearQ8ZeroRowDequantizesToBias(t *testing.T) {
+	l := testLinear(8, 4, 9)
+	for j := range l.W.Row(2) {
+		l.W.Row(2)[j] = 0
+	}
+	l.B.Row(0)[2] = 0.75
+	lq := NewLinearQ8(l)
+	x := mat.NewDense32(1, 8)
+	for i := range x.Data {
+		x.Data[i] = float32(i) - 3.5
+	}
+	got := mat.NewDense32(1, 4)
+	sc := mat.GetScratch()
+	defer mat.PutScratch(sc)
+	lq.ForwardBatch(sc, got, x)
+	if got.Data[2] != 0.75 {
+		t.Fatalf("zero weight row output = %v, want exactly the bias 0.75", got.Data[2])
+	}
+}
