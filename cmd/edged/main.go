@@ -14,68 +14,38 @@
 // layer, bit-identical per request to solo serving (see
 // internal/core/batch.go).
 //
-// With -nodes N the sender side becomes an N-node edge cluster: users are
-// routed to nodes by consistent hashing, the "move" op relocates a user
-// to a radio cell (handing their personalized models over when the
-// serving node changes), nodes resolve cache misses from their neighbors
-// before paying the cloud origin, and "stats" reports per-node counters.
+// With -nodes N the sender side becomes an N-node edge cluster inside
+// this one process: users are routed to nodes by consistent hashing, the
+// "move" op relocates a user to a radio cell (handing their personalized
+// models over when the serving node changes), nodes resolve cache misses
+// from their neighbors before paying the cloud origin, and "stats"
+// reports per-node counters.
+//
+// With -peers a,b,c -mesh-index i this process is instead member i of a
+// multi-process mesh: independent edged processes that cooperate over
+// the v2 wire protocol (liveness probes, cooperative model fetch,
+// cross-process handover) and together reproduce the in-process cluster
+// bit for bit. See internal/mesh.
 //
 // Usage:
 //
 //	edged [-addr :7060] [-selector sticky] [-snr 12] [-seed 1] [-max-inflight 16]
 //	edged -nodes 3 ...
+//	edged -addr :7060 -peers host0:7060,host1:7060,host2:7060 -mesh-index 0 ...
+//
+// All daemon logic lives in internal/edged; this shell parses flags and
+// wires signals.
 package main
 
 import (
-	"errors"
 	"flag"
-	"fmt"
-	"io"
 	"log"
-	"net"
-	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof handlers for -pprof
 	"os"
 	"os/signal"
-	"path/filepath"
-	"runtime"
-	"sync"
-	"sync/atomic"
 	"syscall"
-	"time"
 
-	"repro/internal/core"
-	"repro/internal/corpus"
-	"repro/internal/mat"
-	"repro/internal/metrics"
-	"repro/internal/rpc"
-	"repro/internal/semantic"
-	"repro/internal/text"
+	"repro/internal/edged"
 )
-
-// loadKB loads one pretrained codec per corpus domain from dir (files
-// written by cmd/semkb), in domain order.
-func loadKB(dir string) ([]*semantic.Codec, error) {
-	corp := corpus.Build()
-	out := make([]*semantic.Codec, len(corp.Domains))
-	for i, d := range corp.Domains {
-		path := filepath.Join(dir, d.Name+".kbm")
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, fmt.Errorf("edged: %w (run `semkb -pretrain -out %s` first)", err, dir)
-		}
-		codec, err := semantic.ReadCodec(f, corp)
-		f.Close()
-		if err != nil {
-			return nil, fmt.Errorf("edged: %s: %w", path, err)
-		}
-		if codec.Domain().Name != d.Name {
-			return nil, fmt.Errorf("edged: %s holds domain %q, want %q", path, codec.Domain().Name, d.Name)
-		}
-		out[i] = codec
-	}
-	return out, nil
-}
 
 func main() {
 	if err := run(); err != nil {
@@ -85,361 +55,21 @@ func main() {
 }
 
 func run() error {
-	var (
-		addr        = flag.String("addr", ":7060", "listen address")
-		selector    = flag.String("selector", "sticky", "model-selection policy (static|naivebayes|sticky|qlearn|ucb)")
-		snr         = flag.Float64("snr", 12, "channel SNR in dB")
-		seed        = flag.Uint64("seed", 1, "deterministic seed")
-		kbDir       = flag.String("kb", "", "directory of pretrained .kbm models (see cmd/semkb); empty pretrains at startup")
-		nodes       = flag.Int("nodes", 0, "cluster mode: number of sender edge nodes (0/1 = classic single sender)")
-		pprofAddr   = flag.String("pprof", "", "expose net/http/pprof on this address (e.g. localhost:6060); empty disables")
-		workers     = flag.Int("workers", 0, "parallel workers for pretraining and codec kernels (0 = GOMAXPROCS)")
-		maxInflight = flag.Int("max-inflight", 0, "max concurrently served transmits (0 = 2x GOMAXPROCS, <0 = unlimited)")
-		idleTimeout = flag.Duration("idle-timeout", 5*time.Minute, "per-connection read deadline; 0 disables")
-		writeFlag   = flag.Duration("write-timeout", 30*time.Second, "per-response write deadline; 0 disables")
-		batchWindow = flag.Duration("batch-window", 0, "cross-request batching window (e.g. 50us); 0 disables batching")
-		batchTokens = flag.Int("batch-max-tokens", 0, "flush a collecting batch at this many tokens (0 = default budget)")
-		shedAfter   = flag.Duration("shed-after", 0, "shed transmits queued at the -max-inflight gate longer than this; 0 = only shed on client deadlines")
-		tier        = flag.String("tier", "f64", "serving kernel tier (f64|f32|int8); f64 is bit-exact, f32/int8 trade bounded accuracy for speed")
-	)
+	cfg := edged.FromFlags(flag.CommandLine)
 	flag.Parse()
-	if *workers > 0 {
-		mat.SetParallelism(*workers)
-	}
-	if *pprofAddr != "" {
-		// The pprof mux registers on http.DefaultServeMux via the blank
-		// import; serving it on a side port lets `go tool pprof` attach to
-		// a live daemon and profile serving hotspots under real load.
-		go func() {
-			log.Printf("edged: pprof on http://%s/debug/pprof/", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				log.Printf("edged: pprof server: %v", err)
-			}
-		}()
-	}
-
-	cfg := core.Config{
-		Selector:       *selector,
-		SNRdB:          *snr,
-		PinGeneral:     true,
-		Seed:           *seed,
-		Nodes:          *nodes,
-		BatchWindow:    *batchWindow,
-		BatchMaxTokens: *batchTokens,
-		Tier:           *tier,
-	}
-	start := time.Now()
-	if *kbDir != "" {
-		log.Printf("edged: loading pretrained models from %s...", *kbDir)
-		pretrained, err := loadKB(*kbDir)
-		if err != nil {
-			return err
-		}
-		cfg.Pretrained = pretrained
-	} else {
-		log.Printf("edged: pretraining general models (selector=%s, snr=%.1f dB)...", *selector, *snr)
-	}
-	sys, err := core.NewSystem(cfg)
+	d, err := edged.New(*cfg)
 	if err != nil {
 		return err
 	}
-	// In cluster mode only node 0 (= sys.Sender) is warmed: the other
-	// nodes pull models cooperatively from their neighbors on first miss,
-	// which is exactly the behavior the cluster exists to show.
-	if _, err := sys.Sender.Prefetch(sys.Corpus.Names()); err != nil {
+	if err := d.Listen(); err != nil {
 		return err
 	}
-	if _, err := sys.Receiver.Prefetch(sys.Corpus.Names()); err != nil {
-		return err
-	}
-	if sys.Cluster != nil {
-		log.Printf("edged: cluster mode, %d nodes (node-0 warm, peers cold)", sys.Cluster.NumNodes())
-	}
-	log.Printf("edged: ready in %v (domains: %v)", time.Since(start).Round(time.Millisecond), sys.Corpus.Names())
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		return err
-	}
-	log.Printf("edged: listening on %s", ln.Addr())
-
-	if *batchWindow > 0 {
-		log.Printf("edged: cross-request batching on (window %v)", *batchWindow)
-	}
-	srv := newServer(sys, *maxInflight)
-	srv.idleTimeout = *idleTimeout
-	srv.writeTimeout = *writeFlag
-	srv.shedAfter = *shedAfter
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
 		<-sigCh
 		log.Print("edged: shutting down")
-		ln.Close()
+		d.Close()
 	}()
-	return srv.serve(ln)
-}
-
-// server dispatches requests straight into the concurrent core.System; no
-// global serialization. A bounded gate caps concurrently served transmits
-// so load spikes queue at the door instead of oversubscribing the host.
-type server struct {
-	sys       *core.System
-	messages  atomic.Int64
-	inflight  atomic.Int64
-	shed      atomic.Int64
-	gate      chan struct{} // nil = unlimited
-	latency   *metrics.Histogram
-	queueWait *metrics.Histogram
-
-	idleTimeout  time.Duration // read deadline between requests
-	writeTimeout time.Duration // deadline per response write
-	shedAfter    time.Duration // server-side admission-queue patience; 0 = none
-}
-
-// newServer wraps sys. maxInflight 0 selects 2x GOMAXPROCS; negative
-// disables the gate.
-func newServer(sys *core.System, maxInflight int) *server {
-	if maxInflight == 0 {
-		maxInflight = 2 * runtime.GOMAXPROCS(0)
-	}
-	s := &server{
-		sys:       sys,
-		latency:   metrics.NewLatencyHistogram(),
-		queueWait: metrics.NewLatencyHistogram(),
-	}
-	if maxInflight > 0 {
-		s.gate = make(chan struct{}, maxInflight)
-	}
-	return s
-}
-
-// serve accepts connections until the listener closes, then drains the
-// in-flight handlers.
-func (s *server) serve(ln net.Listener) error {
-	var wg sync.WaitGroup
-	defer wg.Wait()
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			if errors.Is(err, net.ErrClosed) {
-				return nil
-			}
-			return err
-		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			s.handle(conn)
-		}()
-	}
-}
-
-// handle serves one client connection until EOF or a missed deadline: a
-// stalled peer trips the read deadline instead of pinning the goroutine
-// forever.
-func (s *server) handle(conn net.Conn) {
-	defer conn.Close()
-	for {
-		if s.idleTimeout > 0 {
-			if err := conn.SetReadDeadline(time.Now().Add(s.idleTimeout)); err != nil {
-				return
-			}
-		}
-		req, err := rpc.ReadRequest(conn)
-		if err != nil {
-			if err != io.EOF {
-				log.Printf("edged: %s: %v", conn.RemoteAddr(), err)
-			}
-			return
-		}
-		resp := s.dispatch(req)
-		if s.writeTimeout > 0 {
-			if err := conn.SetWriteDeadline(time.Now().Add(s.writeTimeout)); err != nil {
-				return
-			}
-		}
-		if err := rpc.Write(conn, resp); err != nil {
-			log.Printf("edged: %s: write: %v", conn.RemoteAddr(), err)
-			return
-		}
-	}
-}
-
-// dispatch routes one request.
-func (s *server) dispatch(req *rpc.Request) *rpc.Response {
-	switch req.Op {
-	case rpc.OpPing:
-		return &rpc.Response{OK: true}
-	case rpc.OpStats:
-		return &rpc.Response{OK: true, Stats: s.stats()}
-	case rpc.OpTransmit:
-		return s.transmit(req)
-	case rpc.OpMove:
-		return s.move(req)
-	default:
-		return &rpc.Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
-	}
-}
-
-// stats snapshots the daemon counters; in cluster mode the sender-side
-// numbers aggregate every node and per-node detail rides along.
-func (s *server) stats() *rpc.Stats {
-	serve := &rpc.ServeStats{
-		InFlight:       int(s.inflight.Load()),
-		LatencyP50Ms:   s.latency.P(50),
-		LatencyP95Ms:   s.latency.P(95),
-		LatencyP99Ms:   s.latency.P(99),
-		QueueWaitP50Ms: s.queueWait.P(50),
-		QueueWaitP95Ms: s.queueWait.P(95),
-		QueueWaitP99Ms: s.queueWait.P(99),
-		Shed:           s.shed.Load(),
-	}
-	bs := s.sys.BatchStats()
-	serve.Batches = bs.Batches
-	serve.BatchedRequests = bs.BatchedRequests
-	serve.BatchOccupancy = bs.Occupancy
-	st := &rpc.Stats{
-		Messages:  int(s.messages.Load()),
-		SyncBytes: s.sys.SyncBytes(),
-		SyncCount: s.sys.SyncCount(),
-		Serve:     serve,
-	}
-	if s.sys.Cluster == nil {
-		cs := s.sys.Sender.CacheStats()
-		st.SenderHitRate = cs.HitRate()
-		st.CachedModels = s.sys.Sender.Cache().Len()
-		st.CacheUsedBytes = s.sys.Sender.Cache().Used()
-		return st
-	}
-	cl := s.sys.Cluster.Stats()
-	st.Handovers = cl.Handovers
-	st.MigratedBytes = cl.MigratedBytes
-	var hits, misses uint64
-	st.Nodes = make([]rpc.NodeStats, len(cl.Nodes))
-	for i, n := range cl.Nodes {
-		hits += n.Cache.Hits
-		misses += n.Cache.Misses
-		st.CachedModels += n.CachedModels
-		st.CacheUsedBytes += n.CacheUsedBytes
-		st.Nodes[i] = rpc.NodeStats{
-			Name:           n.Name,
-			Users:          n.Users,
-			HitRate:        n.Cache.HitRate(),
-			CachedModels:   n.CachedModels,
-			CacheUsedBytes: n.CacheUsedBytes,
-			HandoversIn:    n.HandoversIn,
-			HandoversOut:   n.HandoversOut,
-			NeighborHits:   n.NeighborHits,
-			NeighborServed: n.NeighborServed,
-			OriginFetches:  n.OriginFetches,
-		}
-	}
-	if total := hits + misses; total > 0 {
-		st.SenderHitRate = float64(hits) / float64(total)
-	}
-	return st
-}
-
-// move serves one OpMove: attach the user to a cell, handing their
-// individual models over when the serving node changes.
-func (s *server) move(req *rpc.Request) *rpc.Response {
-	if req.User == "" {
-		return &rpc.Response{Error: "move requires a user"}
-	}
-	res, err := s.sys.MoveUser(req.User, req.Cell)
-	if err != nil {
-		return &rpc.Response{Error: err.Error()}
-	}
-	return &rpc.Response{OK: true, Handover: &rpc.Handover{
-		From:          s.sys.Cluster.Node(res.From).Name(),
-		To:            s.sys.Cluster.Node(res.To).Name(),
-		Moved:         res.Moved,
-		Models:        res.Models,
-		MigratedBytes: res.Bytes,
-		LatencyMs:     float64(res.Latency) / float64(time.Millisecond),
-	}}
-}
-
-// shedLimit derives the admission-queue patience for one request: the
-// tighter of the client's deadline hint and the server's -shed-after
-// policy. Zero means wait indefinitely.
-func (s *server) shedLimit(deadlineMs float64) time.Duration {
-	limit := s.shedAfter
-	if deadlineMs > 0 {
-		d := time.Duration(deadlineMs * float64(time.Millisecond))
-		if limit <= 0 || d < limit {
-			limit = d
-		}
-	}
-	return limit
-}
-
-// admit claims a slot at the -max-inflight gate, observing queue wait. A
-// request that cannot be admitted within its shed limit is rejected with
-// a Shed response instead of queueing unboundedly: under saturation the
-// daemon degrades by refusing late work, not by serving everything late.
-func (s *server) admit(req *rpc.Request) *rpc.Response {
-	select {
-	case s.gate <- struct{}{}:
-		s.queueWait.Observe(0)
-		return nil
-	default:
-	}
-	start := time.Now()
-	if limit := s.shedLimit(req.DeadlineMs); limit > 0 {
-		timer := time.NewTimer(limit)
-		select {
-		case s.gate <- struct{}{}:
-			timer.Stop()
-		case <-timer.C:
-			s.shed.Add(1)
-			return &rpc.Response{
-				Shed:  true,
-				Error: fmt.Sprintf("shed: queued %v at admission gate", limit),
-			}
-		}
-	} else {
-		s.gate <- struct{}{}
-	}
-	s.queueWait.Observe(float64(time.Since(start)) / float64(time.Millisecond))
-	return nil
-}
-
-// transmit serves one message through the pipeline, metering service time.
-func (s *server) transmit(req *rpc.Request) *rpc.Response {
-	user := req.User
-	if user == "" {
-		user = "anonymous"
-	}
-	words := text.Tokenize(req.Text)
-	if len(words) == 0 {
-		return &rpc.Response{Error: "empty message"}
-	}
-	if s.gate != nil {
-		if shed := s.admit(req); shed != nil {
-			return shed
-		}
-		defer func() { <-s.gate }()
-	}
-	s.inflight.Add(1)
-	defer s.inflight.Add(-1)
-	start := time.Now()
-	res, err := s.sys.TransmitText(user, words)
-	if err != nil {
-		return &rpc.Response{Error: err.Error()}
-	}
-	s.latency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
-	s.messages.Add(1)
-	return &rpc.Response{
-		OK:             true,
-		Restored:       text.Join(res.RestoredWords),
-		SelectedDomain: s.sys.Corpus.Domains[res.SelectedDomain].Name,
-		Mismatch:       res.Mismatch,
-		PayloadBytes:   res.PayloadBytes,
-		LatencyMs:      float64(res.Latency) / float64(time.Millisecond),
-		CacheHit:       res.EncCacheHit,
-		Individual:     res.UsedIndividual,
-		UpdateFired:    res.UpdateFired,
-	}
+	return d.Serve()
 }

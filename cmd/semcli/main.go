@@ -11,6 +11,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -73,7 +74,13 @@ func run() error {
 	}
 
 	send := func(msg string) error {
-		resp, err := cl.TransmitDeadline(*user, msg, *deadline)
+		ctx := context.Background()
+		if *deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *deadline)
+			defer cancel()
+		}
+		resp, err := cl.TransmitContext(ctx, *user, msg)
 		if err != nil {
 			return err
 		}

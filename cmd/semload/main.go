@@ -17,20 +17,31 @@
 // prints a 64-bit digest over every response; two runs with the same
 // -seed against identically-started daemons are bit-identical.
 //
+// With -mesh it drives a multi-process edged mesh instead of a single
+// daemon: requests route client-side over the same consistent-hash ring
+// the members build, -spawn launches the members as child edged
+// processes first, and -chaos-kill (with -mobility) SIGKILLs one member
+// halfway through the run, asserting that the survivors rebalance with
+// zero lost requests.
+//
 // Usage:
 //
 //	semload [-addr localhost:7060] [-users 8] [-requests 512] \
 //	        [-mix it:3,med:1] [-seed 1] [-deadline 50ms]
 //	semload -sweep 1,4,8,16,32 [-requests 512] ...
 //	semload -mobility [-cells 3] [-move-rate 0.1] ...
+//	semload -mesh host0:7060,host1:7060,host2:7060 [-spawn -edged-bin ./edged] \
+//	        -mobility [-chaos-kill] ...
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"hash/fnv"
 	"log"
 	"math"
+	"os/exec"
 	"runtime"
 	"sort"
 	"strconv"
@@ -135,11 +146,20 @@ func userLoop(addr, user string, rng *mat.RNG, corp *corpus.Corpus, cum []float6
 	}
 	defer cl.Close()
 	gen := corpus.NewGenerator(corp, rng)
+	send := func(text string) (*rpc.Response, error) {
+		ctx := context.Background()
+		if deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, deadline)
+			defer cancel()
+		}
+		return cl.TransmitContext(ctx, user, text)
+	}
 	for budget.Add(-1) >= 0 {
 		di := pickDomain(rng, cum)
 		msg := gen.Message(di, nil)
 		start := time.Now()
-		resp, err := cl.TransmitDeadline(user, msg.Text(), deadline)
+		resp, err := send(msg.Text())
 		if err != nil {
 			return fmt.Errorf("%s: transmit: %w", user, err)
 		}
@@ -167,10 +187,17 @@ type loadResult struct {
 	memAfter  runtime.MemStats
 }
 
-// loadRun drains one request budget across `users` closed-loop clients.
-// Per-user RNGs split in user order from one seeded root, so a run is
-// reproducible for any fixed (seed, users).
-func loadRun(addr string, users, requests int, deadline time.Duration,
+// fixedAddr routes every user to one address — the single-daemon case.
+func fixedAddr(addr string) func(string) string {
+	return func(string) string { return addr }
+}
+
+// loadRun drains one request budget across `users` closed-loop clients,
+// each dialing the address addrFor maps its user name to (one fixed
+// daemon, or the user's ring owner in mesh mode). Per-user RNGs split in
+// user order from one seeded root, so a run is reproducible for any
+// fixed (seed, users).
+func loadRun(addrFor func(user string) string, users, requests int, deadline time.Duration,
 	seed uint64, corp *corpus.Corpus, cum []float64) (*loadResult, error) {
 	root := mat.NewRNG(seed)
 	rngs := make([]*mat.RNG, users)
@@ -199,7 +226,7 @@ func loadRun(addr string, users, requests int, deadline time.Duration,
 		go func(u int) {
 			defer wg.Done()
 			user := fmt.Sprintf("u%03d", u)
-			if err := userLoop(addr, user, rngs[u], corp, cum, deadline, &budget, res.hist, res.sent, &errs, &shed); err != nil {
+			if err := userLoop(addrFor(user), user, rngs[u], corp, cum, deadline, &budget, res.hist, res.sent, &errs, &shed); err != nil {
 				errMu.Lock()
 				if loopErr == nil {
 					loopErr = err
@@ -222,26 +249,31 @@ func loadRun(addr string, users, requests int, deadline time.Duration,
 
 func run() error {
 	var (
-		addr     = flag.String("addr", "localhost:7060", "edged address")
-		users    = flag.Int("users", 8, "concurrent users, one sticky connection each")
-		requests = flag.Int("requests", 512, "total request budget across all users (per stage with -sweep)")
-		mix      = flag.String("mix", "", "domain mix as name:weight,... (default uniform over all domains)")
-		seed     = flag.Uint64("seed", 1, "deterministic seed; user u gets the u-th split")
-		deadline = flag.Duration("deadline", 0, "per-request deadline, forwarded to the daemon's admission gate (0 = none)")
-		sweep    = flag.String("sweep", "", "saturation sweep: comma-separated user counts, one closed-loop stage each")
-		mobility = flag.Bool("mobility", false, "run the serial mobility scenario against a cluster-mode edged (-nodes)")
-		cells    = flag.Int("cells", 3, "radio cells users roam across (with -mobility)")
-		moveRate = flag.Float64("move-rate", 0.1, "per-request probability a user moves to a random cell (with -mobility)")
+		addr      = flag.String("addr", "localhost:7060", "edged address")
+		users     = flag.Int("users", 8, "concurrent users, one sticky connection each")
+		requests  = flag.Int("requests", 512, "total request budget across all users (per stage with -sweep)")
+		mix       = flag.String("mix", "", "domain mix as name:weight,... (default uniform over all domains)")
+		seed      = flag.Uint64("seed", 1, "deterministic seed; user u gets the u-th split")
+		deadline  = flag.Duration("deadline", 0, "per-request deadline, forwarded to the daemon's admission gate (0 = none)")
+		sweep     = flag.String("sweep", "", "saturation sweep: comma-separated user counts, one closed-loop stage each")
+		mobility  = flag.Bool("mobility", false, "run the serial mobility scenario against a cluster-mode edged (-nodes)")
+		cells     = flag.Int("cells", 3, "radio cells users roam across (with -mobility)")
+		moveRate  = flag.Float64("move-rate", 0.1, "per-request probability a user moves to a random cell (with -mobility)")
+		mesh      = flag.String("mesh", "", "multi-process mesh member list, comma-separated host:port; requests route client-side over the members' ring")
+		spawn     = flag.Bool("spawn", false, "launch the -mesh members as child edged processes before the run")
+		edgedBin  = flag.String("edged-bin", "edged", "edged binary to launch with -spawn")
+		kbDir     = flag.String("kb", "", "pretrained model dir forwarded to spawned members (-spawn)")
+		chaosKill = flag.Bool("chaos-kill", false, "kill one spawned mesh member halfway through a -mesh -mobility run")
 	)
 	flag.Parse()
 	if *users <= 0 || *requests <= 0 {
 		return fmt.Errorf("need positive -users and -requests (got %d, %d)", *users, *requests)
 	}
-	if *mobility {
-		if *cells < 2 {
-			return fmt.Errorf("-mobility needs at least 2 -cells, got %d", *cells)
-		}
-		return runMobility(*addr, *users, *requests, *cells, *moveRate, *seed, *mix)
+	if *mobility && *cells < 2 {
+		return fmt.Errorf("-mobility needs at least 2 -cells, got %d", *cells)
+	}
+	if *chaosKill && (*mesh == "" || !*mobility || !*spawn) {
+		return fmt.Errorf("-chaos-kill requires -mesh, -mobility and -spawn")
 	}
 
 	corp := corpus.Build()
@@ -256,6 +288,44 @@ func run() error {
 		cum[i] = sum
 	}
 
+	if *mesh != "" {
+		addrs, err := parseMeshAddrs(*mesh)
+		if err != nil {
+			return err
+		}
+		var children []*exec.Cmd
+		if *spawn {
+			var stop func()
+			children, stop, err = spawnMesh(*edgedBin, addrs, *seed, *kbDir)
+			if err != nil {
+				return err
+			}
+			defer stop()
+		}
+		topo := newMeshTopology(addrs, *seed)
+		defer topo.close()
+		if *mobility {
+			return runMeshMobility(topo, children, *chaosKill, *users, *requests, *cells, *moveRate, *seed, *mix)
+		}
+		// Plain closed loop against the mesh: each user's sticky connection
+		// goes to its ring owner, and the final report merges every
+		// member's counters.
+		res, err := loadRun(func(user string) string {
+			return addrs[topo.owner(user)]
+		}, *users, *requests, *deadline, *seed, corp, cum)
+		if err != nil {
+			return err
+		}
+		printLoadResult(res, *users, corp)
+		if st, err := topo.mergedStats(); err == nil {
+			printStats(st)
+		}
+		return nil
+	}
+	if *mobility {
+		return runMobility(*addr, *users, *requests, *cells, *moveRate, *seed, *mix)
+	}
+
 	if *sweep != "" {
 		stages, err := parseSweep(*sweep)
 		if err != nil {
@@ -264,13 +334,21 @@ func run() error {
 		return runSweep(*addr, stages, *requests, *deadline, *seed, corp, cum)
 	}
 
-	res, err := loadRun(*addr, *users, *requests, *deadline, *seed, corp, cum)
+	res, err := loadRun(fixedAddr(*addr), *users, *requests, *deadline, *seed, corp, cum)
 	if err != nil {
 		return err
 	}
+	printLoadResult(res, *users, corp)
 
+	// Close with the daemon's own view of the run.
+	printDaemonStats(*addr)
+	return nil
+}
+
+// printLoadResult prints the client-side report of one closed-loop run.
+func printLoadResult(res *loadResult, users int, corp *corpus.Corpus) {
 	fmt.Printf("requests : %d ok, %d daemon errors, %d shed, %d users, %.2fs\n",
-		res.done-res.errs-res.shed, res.errs, res.shed, *users, res.elapsed.Seconds())
+		res.done-res.errs-res.shed, res.errs, res.shed, users, res.elapsed.Seconds())
 	fmt.Printf("rate     : %.1f req/s (closed loop)\n", float64(res.done)/res.elapsed.Seconds())
 	fmt.Printf("latency  : mean %.2f ms  p50 %.2f ms  p95 %.2f ms  p99 %.2f ms\n",
 		res.hist.Mean(), res.hist.P(50), res.hist.P(95), res.hist.P(99))
@@ -291,10 +369,6 @@ func run() error {
 		parts[i] = fmt.Sprintf("%s:%d", d.name, d.n)
 	}
 	fmt.Printf("mix      : %s\n", strings.Join(parts, " "))
-
-	// Close with the daemon's own view of the run.
-	printDaemonStats(*addr)
-	return nil
 }
 
 // runSweep drives one closed-loop stage per user count and prints a
@@ -306,7 +380,7 @@ func runSweep(addr string, stages []int, requests int, deadline time.Duration,
 	fmt.Printf("%7s %10s %9s %9s %9s %6s %6s\n",
 		"users", "req/s", "p50 ms", "p95 ms", "p99 ms", "shed", "errs")
 	for s, n := range stages {
-		res, err := loadRun(addr, n, requests, deadline, seed+uint64(s), corp, cum)
+		res, err := loadRun(fixedAddr(addr), n, requests, deadline, seed+uint64(s), corp, cum)
 		if err != nil {
 			return fmt.Errorf("sweep stage %d users: %w", n, err)
 		}
@@ -347,6 +421,12 @@ func printDaemonStats(addr string) {
 	if err != nil {
 		return
 	}
+	printStats(s)
+}
+
+// printStats prints one counter snapshot — a single daemon's, or several
+// mesh members' merged with Stats.Merge.
+func printStats(s *rpc.Stats) {
 	fmt.Printf("daemon   : %d messages, hit %.1f%%\n", s.Messages, 100*s.SenderHitRate)
 	if sv := s.Serve; sv != nil {
 		fmt.Printf("serve    : in-flight %d, %d shed, service p50 %.2f ms p95 %.2f ms p99 %.2f ms, queue p50 %.2f ms p95 %.2f ms p99 %.2f ms\n",

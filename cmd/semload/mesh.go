@@ -1,0 +1,407 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/corpus"
+	"repro/internal/mat"
+	"repro/internal/metrics"
+	"repro/internal/rpc"
+)
+
+// This file is the multi-process topology driver: -mesh lists the
+// members of an edged mesh and semload routes every request client-side
+// with the same consistent-hash ring the daemons build, keeping explicit
+// ownership overrides after moves. -spawn launches the members as child
+// edged processes first, which is also what arms -chaos-kill: halfway
+// through the run one child is SIGKILLed, the router discovers the death
+// through a failed call, recomputes the ring over the survivors and
+// retries — a retried request is a rebalance, a failed one is a lost
+// request and fails the run.
+
+// meshTopology routes requests across mesh members client-side.
+type meshTopology struct {
+	addrs    []string
+	seed     uint64
+	alive    []bool
+	ring     *cluster.Ring
+	override map[string]int
+	clients  []*rpc.Client
+	// retries counts transmits that needed rerouting after a member died.
+	retries int
+}
+
+func newMeshTopology(addrs []string, seed uint64) *meshTopology {
+	m := &meshTopology{
+		addrs:    addrs,
+		seed:     seed,
+		alive:    make([]bool, len(addrs)),
+		override: make(map[string]int),
+		clients:  make([]*rpc.Client, len(addrs)),
+	}
+	for i := range m.alive {
+		m.alive[i] = true
+	}
+	m.rebuild()
+	return m
+}
+
+func (m *meshTopology) close() {
+	for i, c := range m.clients {
+		if c != nil {
+			c.Close()
+			m.clients[i] = nil
+		}
+	}
+}
+
+// liveMembers returns the indices the router believes alive, sorted —
+// the same member list a daemon's mesh.Node ranges over, so move targets
+// agree.
+func (m *meshTopology) liveMembers() []int {
+	members := make([]int, 0, len(m.addrs))
+	for i, ok := range m.alive {
+		if ok {
+			members = append(members, i)
+		}
+	}
+	sort.Ints(members)
+	return members
+}
+
+func (m *meshTopology) rebuild() {
+	m.ring = cluster.NewRingFor(m.liveMembers(), 64, m.seed)
+	for u, n := range m.override {
+		if !m.alive[n] {
+			delete(m.override, u)
+		}
+	}
+}
+
+func (m *meshTopology) owner(user string) int {
+	if n, ok := m.override[user]; ok {
+		return n
+	}
+	return m.ring.Node(user)
+}
+
+func (m *meshTopology) client(node int) (*rpc.Client, error) {
+	if m.clients[node] != nil {
+		return m.clients[node], nil
+	}
+	c, err := rpc.Dial(m.addrs[node])
+	if err != nil {
+		return nil, err
+	}
+	m.clients[node] = c
+	return c, nil
+}
+
+// markDead records a discovered death and re-routes every affected user.
+func (m *meshTopology) markDead(node int) {
+	if m.clients[node] != nil {
+		m.clients[node].Close()
+		m.clients[node] = nil
+	}
+	if m.alive[node] {
+		m.alive[node] = false
+		m.rebuild()
+	}
+}
+
+// transmit sends to the user's owner, rerouting over the recomputed ring
+// when the owner turns out dead. Exhausting every member is a lost
+// request.
+func (m *meshTopology) transmit(ctx context.Context, user, text string) (*rpc.Response, error) {
+	for attempt := 0; attempt <= len(m.addrs); attempt++ {
+		node := m.owner(user)
+		cl, err := m.client(node)
+		if err != nil {
+			m.markDead(node)
+			m.retries++
+			continue
+		}
+		resp, err := cl.TransmitContext(ctx, user, text)
+		if err != nil {
+			m.markDead(node)
+			m.retries++
+			continue
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("transmit %s: no live mesh member", user)
+}
+
+// move sends the move to the user's serving member and mirrors the
+// resulting ownership locally (same target rule as the daemon: live
+// members sorted by index, cell modulo their count).
+func (m *meshTopology) move(user string, cell int) (*rpc.Response, error) {
+	cl, err := m.client(m.owner(user))
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cl.Move(user, cell)
+	if err != nil {
+		return nil, err
+	}
+	if resp.OK && resp.Handover != nil {
+		members := m.liveMembers()
+		m.override[user] = members[((cell%len(members))+len(members))%len(members)]
+	}
+	return resp, nil
+}
+
+// mergedStats merges every live member's counters with Stats.Merge.
+func (m *meshTopology) mergedStats() (*rpc.Stats, error) {
+	var merged *rpc.Stats
+	for i := range m.addrs {
+		if !m.alive[i] {
+			continue
+		}
+		cl, err := m.client(i)
+		if err != nil {
+			return nil, err
+		}
+		st, err := cl.Stats()
+		if err != nil {
+			return nil, err
+		}
+		if merged == nil {
+			merged = st
+		} else {
+			merged.Merge(st)
+		}
+	}
+	if merged == nil {
+		return nil, fmt.Errorf("no live mesh member")
+	}
+	return merged, nil
+}
+
+// parseMeshAddrs splits -mesh into at least two host:port members.
+func parseMeshAddrs(mesh string) ([]string, error) {
+	parts := strings.Split(mesh, ",")
+	addrs := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if !strings.Contains(p, ":") {
+			return nil, fmt.Errorf("mesh member %q is not a host:port address", p)
+		}
+		addrs = append(addrs, p)
+	}
+	if len(addrs) < 2 {
+		return nil, fmt.Errorf("-mesh needs at least 2 members, got %q", mesh)
+	}
+	return addrs, nil
+}
+
+// spawnMesh launches one edged child per mesh member and waits until
+// every one answers a ping. The returned stop function kills any child
+// still running.
+func spawnMesh(bin string, addrs []string, seed uint64, kbDir string) ([]*exec.Cmd, func(), error) {
+	peers := strings.Join(addrs, ",")
+	children := make([]*exec.Cmd, len(addrs))
+	stop := func() {
+		for _, c := range children {
+			if c != nil && c.Process != nil {
+				c.Process.Kill()
+				c.Wait()
+			}
+		}
+	}
+	for i, addr := range addrs {
+		args := []string{
+			"-addr", addr,
+			"-peers", peers,
+			"-mesh-index", strconv.Itoa(i),
+			"-seed", strconv.FormatUint(seed, 10),
+			"-probe-interval", "100ms",
+		}
+		if kbDir != "" {
+			args = append(args, "-kb", kbDir)
+		}
+		cmd := exec.Command(bin, args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			stop()
+			return nil, nil, fmt.Errorf("spawn %s: %w", addr, err)
+		}
+		children[i] = cmd
+	}
+	// Pretraining at boot can take a while; with -kb members come up fast.
+	deadline := time.Now().Add(3 * time.Minute)
+	for _, addr := range addrs {
+		for {
+			cl, err := rpc.Dial(addr)
+			if err == nil {
+				err = cl.Ping()
+				cl.Close()
+			}
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				stop()
+				return nil, nil, fmt.Errorf("member %s not up after %v: %w", addr, 3*time.Minute, err)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	return children, stop, nil
+}
+
+// runMeshMobility is runMobility against a mesh: the same serial seeded
+// stream, routed client-side, with an optional chaos kill halfway
+// through. The run fails on any client-visible error, on a run with no
+// handovers, or on one where the cold members never refilled their
+// caches from a neighbor — the acceptance gates of the multi-process
+// deployment.
+func runMeshMobility(topo *meshTopology, children []*exec.Cmd, chaosKill bool,
+	users, requests, cells int, moveRate float64, seed uint64, mix string) error {
+	if chaosKill && children == nil {
+		return fmt.Errorf("-chaos-kill needs -spawn: semload can only kill members it started")
+	}
+	corp := corpus.Build()
+	weights, err := parseMix(corp, mix)
+	if err != nil {
+		return err
+	}
+	cum := make([]float64, len(weights))
+	sum := 0.0
+	for i, w := range weights {
+		sum += w
+		cum[i] = sum
+	}
+
+	root := mat.NewRNG(seed)
+	sched := root.Split()
+	gens := make([]*corpus.Generator, users)
+	for i := range gens {
+		gens[i] = corpus.NewGenerator(corp, root.Split())
+	}
+
+	killAt := -1
+	victim := 0
+	if chaosKill {
+		killAt = requests / 2
+		// Kill the member serving the most traffic-relevant slot after
+		// member 0 (which holds the warm cache): the highest-index member,
+		// so survivors span both a warm and a cold node.
+		victim = len(topo.addrs) - 1
+	}
+
+	var (
+		digest    uint64
+		hist      = metrics.NewLatencyHistogram()
+		handovers int
+		moves     int
+		daemonErr int
+	)
+	start := time.Now()
+	for i := 0; i < requests; i++ {
+		if i == killAt {
+			fmt.Fprintf(os.Stderr, "semload: chaos: killing member %d (%s) at request %d\n",
+				victim, topo.addrs[victim], i)
+			children[victim].Process.Kill()
+			children[victim].Wait()
+			children[victim] = nil
+		}
+		u := sched.Intn(users)
+		user := fmt.Sprintf("u%03d", u)
+		// Mobility pauses once the kill happened: a move issued inside a
+		// surviving member's probe window may legitimately fail against the
+		// dead peer, and the chaos gate is about transmits, not moves.
+		if (killAt < 0 || i < killAt) && sched.Float64() < moveRate {
+			cell := sched.Intn(cells)
+			resp, err := topo.move(user, cell)
+			if err != nil {
+				return fmt.Errorf("move %s: %w", user, err)
+			}
+			if !resp.OK {
+				return fmt.Errorf("move %s: daemon error %q", user, resp.Error)
+			}
+			if resp.Handover == nil {
+				return fmt.Errorf("move %s: daemon sent no handover result (version skew?)", user)
+			}
+			moves++
+			if resp.Handover.Moved {
+				handovers++
+			}
+			foldResponse(&digest, "move", user, strconv.Itoa(cell),
+				resp.Handover.From, resp.Handover.To,
+				strconv.FormatBool(resp.Handover.Moved),
+				strconv.FormatInt(resp.Handover.MigratedBytes, 10))
+		}
+		di := pickDomain(sched, cum)
+		msg := gens[u].Message(di, nil)
+		reqStart := time.Now()
+		resp, err := topo.transmit(context.Background(), user, msg.Text())
+		if err != nil {
+			return fmt.Errorf("request %d lost: %w", i, err)
+		}
+		hist.Observe(float64(time.Since(reqStart)) / float64(time.Millisecond))
+		if !resp.OK {
+			daemonErr++
+			foldResponse(&digest, "error", user, resp.Error)
+			continue
+		}
+		foldResponse(&digest, "transmit", user, resp.Restored, resp.SelectedDomain,
+			strconv.FormatUint(math.Float64bits(resp.Mismatch), 16),
+			strconv.Itoa(resp.PayloadBytes),
+			strconv.FormatUint(math.Float64bits(resp.LatencyMs), 16))
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("requests : %d ok, %d daemon errors, %d rerouted, %d users (serial), %.2fs\n",
+		requests-daemonErr, daemonErr, topo.retries, users, elapsed.Seconds())
+	fmt.Printf("rate     : %.1f req/s (closed loop)\n", float64(requests)/elapsed.Seconds())
+	fmt.Printf("latency  : mean %.2f ms  p50 %.2f ms  p95 %.2f ms  p99 %.2f ms\n",
+		hist.Mean(), hist.P(50), hist.P(95), hist.P(99))
+	fmt.Printf("mobility : %d moves, %d handovers, %d cells, rate %.2f\n", moves, handovers, cells, moveRate)
+	fmt.Printf("digest   : %016x\n", digest)
+
+	st, err := topo.mergedStats()
+	if err != nil {
+		return fmt.Errorf("merged stats: %w", err)
+	}
+	var neighborHits int64
+	for _, n := range st.Nodes {
+		neighborHits += n.NeighborHits
+	}
+	fmt.Printf("daemon   : %d messages (live members), hit %.1f%%\n", st.Messages, 100*st.SenderHitRate)
+	fmt.Printf("mesh     : %d handovers, %d bytes migrated, %d neighbor cache hits\n",
+		st.Handovers, st.MigratedBytes, neighborHits)
+	for _, n := range st.Nodes {
+		fmt.Printf("  %-8s: %d users, hit %.1f%%, %d models, handover in/out %d/%d, neighbor hit/served %d/%d, origin %d\n",
+			n.Name, n.Users, 100*n.HitRate, n.CachedModels,
+			n.HandoversIn, n.HandoversOut, n.NeighborHits, n.NeighborServed, n.OriginFetches)
+	}
+
+	// Acceptance gates (non-zero exit on violation, for CI).
+	if daemonErr > 0 {
+		return fmt.Errorf("%d client-visible errors after rebalance", daemonErr)
+	}
+	if handovers == 0 {
+		return fmt.Errorf("run produced no handovers (moveRate %.2f too low or mesh not rebalancing)", moveRate)
+	}
+	if neighborHits == 0 {
+		return fmt.Errorf("no neighbor cache fetches: cold members never refilled cooperatively")
+	}
+	if chaosKill && topo.retries == 0 {
+		return fmt.Errorf("chaos kill was invisible: no request was ever rerouted")
+	}
+	return nil
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/edge"
 	"repro/internal/kb"
 	"repro/internal/netsim"
+	"repro/internal/rpc"
 )
 
 // Config parameterizes a cluster. Zero fields select documented defaults.
@@ -102,7 +103,7 @@ func (n *Node) Edge() *edge.Server { return n.edge }
 type Cluster struct {
 	cfg   Config
 	nodes []*Node
-	ring  *ring
+	ring  *Ring
 
 	// mu guards the routing state: the mobility override and the set of
 	// users ever routed (for per-node occupancy stats).
@@ -132,7 +133,7 @@ func New(cfg Config, origin *kb.Registry) (*Cluster, error) {
 	c := &Cluster{
 		cfg:      cfg,
 		nodes:    make([]*Node, cfg.Nodes),
-		ring:     newRing(cfg.Nodes, cfg.Replicas, cfg.Seed),
+		ring:     NewRing(cfg.Nodes, cfg.Replicas, cfg.Seed),
 		override: make(map[string]int, 64),
 		seen:     make(map[string]struct{}, 64),
 	}
@@ -179,7 +180,7 @@ func (c *Cluster) Route(user string) *Node {
 		c.seen[user] = struct{}{}
 		c.mu.Unlock()
 	}
-	return c.nodes[c.ring.node(user)]
+	return c.nodes[c.ring.Node(user)]
 }
 
 // HandoverResult reports one mobility event.
@@ -305,6 +306,28 @@ type NodeStats struct {
 	FetchLatency time.Duration
 }
 
+// RPC converts the snapshot to its wire form. The mapping is the single
+// source of truth for how node counters serialize, shared by the
+// single-process cluster daemon and each mesh peer, so per-process stats
+// aggregate identically to the in-process cluster's counters.
+func (s NodeStats) RPC() rpc.NodeStats {
+	return rpc.NodeStats{
+		Name:           s.Name,
+		Users:          s.Users,
+		HitRate:        s.Cache.HitRate(),
+		CachedModels:   s.CachedModels,
+		CacheUsedBytes: s.CacheUsedBytes,
+		HandoversIn:    s.HandoversIn,
+		HandoversOut:   s.HandoversOut,
+		NeighborHits:   s.NeighborHits,
+		NeighborBytes:  s.NeighborBytes,
+		NeighborServed: s.NeighborServed,
+		OriginFetches:  s.OriginFetches,
+		OriginBytes:    s.OriginBytes,
+		FetchLatencyMs: float64(s.FetchLatency) / float64(time.Millisecond),
+	}
+}
+
 // Stats is a whole-cluster counter snapshot.
 type Stats struct {
 	Nodes []NodeStats
@@ -333,7 +356,7 @@ func (c *Cluster) Stats() Stats {
 		if n, ok := c.override[user]; ok {
 			occupancy[n]++
 		} else {
-			occupancy[c.ring.node(user)]++
+			occupancy[c.ring.Node(user)]++
 		}
 	}
 	c.mu.RUnlock()

@@ -351,13 +351,13 @@ func TestConcurrentClusterUse(t *testing.T) {
 func TestRingConsistency(t *testing.T) {
 	// Growing the ring by one node must only reassign users, never produce
 	// an out-of-range node, and must keep most users in place.
-	small := newRing(3, 64, 1)
-	big := newRing(4, 64, 1)
+	small := NewRing(3, 64, 1)
+	big := NewRing(4, 64, 1)
 	moved := 0
 	const users = 1000
 	for u := 0; u < users; u++ {
 		user := fmt.Sprintf("u%04d", u)
-		s, b := small.node(user), big.node(user)
+		s, b := small.Node(user), big.Node(user)
 		if s < 0 || s >= 3 || b < 0 || b >= 4 {
 			t.Fatalf("node index out of range: %d, %d", s, b)
 		}

@@ -6,13 +6,16 @@ import (
 	"sort"
 )
 
-// ring is a consistent-hash ring over node indices: every node owns a
+// Ring is a consistent-hash ring over node indices: every node owns a
 // fixed number of virtual points placed by a seeded hash, and a user maps
 // to the first point clockwise from their own hash. Identically-configured
 // clusters therefore route identically, and adding or removing one node
 // reassigns only the users whose arcs it owned — the property that keeps
-// cache warmth intact as a deployment scales.
-type ring struct {
+// cache warmth intact as a deployment scales, and that lets the
+// multi-process mesh recompute ownership on join/leave by rebuilding the
+// ring over the live members (a dead node's points vanish; every other
+// arc is untouched).
+type Ring struct {
 	points []ringPoint // sorted by hash
 }
 
@@ -22,11 +25,13 @@ type ringPoint struct {
 	node int
 }
 
-// hash64 is FNV-1a over s with a murmur-style finalizer. The finalizer
+// Hash64 is FNV-1a over s with a murmur-style finalizer. The finalizer
 // matters: plain FNV over short sequential names ("u001", "u002", ...)
 // yields near-sequential hashes that all land on one arc of the ring; the
-// avalanche spreads them uniformly.
-func hash64(s string) uint64 {
+// avalanche spreads them uniformly. It is exported so out-of-process
+// peers (and drivers) can derive per-user values that agree with the
+// ring's placement.
+func Hash64(s string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(s))
 	x := h.Sum64()
@@ -38,12 +43,26 @@ func hash64(s string) uint64 {
 	return x
 }
 
-// newRing places replicas virtual points per node, seeded by seed.
-func newRing(nodes, replicas int, seed uint64) *ring {
-	r := &ring{points: make([]ringPoint, 0, nodes*replicas)}
-	for n := 0; n < nodes; n++ {
+// NewRing places replicas virtual points per node for nodes 0..nodes-1,
+// seeded by seed.
+func NewRing(nodes, replicas int, seed uint64) *Ring {
+	members := make([]int, nodes)
+	for i := range members {
+		members[i] = i
+	}
+	return NewRingFor(members, replicas, seed)
+}
+
+// NewRingFor builds the ring over an explicit member set (node indices,
+// not necessarily contiguous). A member's virtual points depend only on
+// its own index, so NewRingFor([0,2], ...) is exactly NewRing(3, ...)
+// with node 1's points removed — the rebalance a mesh performs when a
+// peer dies.
+func NewRingFor(members []int, replicas int, seed uint64) *Ring {
+	r := &Ring{points: make([]ringPoint, 0, len(members)*replicas)}
+	for _, n := range members {
 		for v := 0; v < replicas; v++ {
-			h := hash64(fmt.Sprintf("%x/node-%d/%d", seed, n, v))
+			h := Hash64(fmt.Sprintf("%x/node-%d/%d", seed, n, v))
 			r.points = append(r.points, ringPoint{hash: h, node: n})
 		}
 	}
@@ -57,9 +76,9 @@ func newRing(nodes, replicas int, seed uint64) *ring {
 	return r
 }
 
-// node returns the owning node index for key.
-func (r *ring) node(key string) int {
-	h := hash64(key)
+// Node returns the owning node index for key.
+func (r *Ring) Node(key string) int {
+	h := Hash64(key)
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	if i == len(r.points) {
 		i = 0 // wrap: the ring is circular

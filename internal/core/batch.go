@@ -34,7 +34,9 @@ const DefaultBatchMaxTokens = 512
 // depends only on its own input row, so a request's bytes are identical
 // whether it ran solo or inside any batch (see Codec.EncodeBatchInto).
 // Channel noise draws happen under linkMu in batch arrival order, exactly
-// as solo transmits draw in global arrival order.
+// as solo transmits draw in global arrival order; in PerUserNoise mode
+// each job instead reseeds the channel RNG from its own (user, seq)
+// stream, so batching is noise-transparent there too.
 type batcher struct {
 	sys       *System
 	window    time.Duration
@@ -79,6 +81,13 @@ type batchJob struct {
 	words       []string
 	senderCodec *semantic.Codec
 	recvCodec   *semantic.Codec
+
+	// reseed/noiseSeed select a per-user derived noise stream for this
+	// job's channel crossing (PerUserNoise mode): the leader reseeds the
+	// channel RNG to noiseSeed before this job's draw, making the noise
+	// independent of batch composition and bit-identical to solo serving.
+	reseed    bool
+	noiseSeed uint64
 
 	// Row offsets of this job inside its sender/receiver codec groups.
 	sgIdx, sgOff int
@@ -302,6 +311,9 @@ func (b *batcher) execute(jobs []*batchJob) {
 		rd := j.recvCodec.FeatureDim()
 		enc := x.sgroups[j.sgIdx].feats.Data[j.sgOff*ed : (j.sgOff+len(j.words))*ed]
 		rx := x.rgroups[j.rgIdx].feats.Data[j.rgOff*rd : (j.rgOff+len(j.words))*rd]
+		if j.reseed {
+			b.sys.noiseRng.Reseed(j.noiseSeed)
+		}
 		j.linkStats = b.sys.link.SendFlatScratch(&b.sys.linkScratch, rx, enc)
 	}
 	b.sys.linkMu.Unlock()
@@ -374,7 +386,7 @@ func (s *System) BatchingEnabled() bool { return s.batcher != nil }
 // while the per-token GEMMs and the channel crossing run inside the
 // collector's fused batch. Per-request outputs are bit-identical to the
 // solo path.
-func (s *System) transmitBatched(sc *mat.Scratch, user string, words []string, selected int, sel selection.Selector) (*Result, []int, error) {
+func (s *System) transmitBatched(sc *mat.Scratch, st *userState, user string, words []string, selected int, sel selection.Selector) (*Result, []int, error) {
 	domain := s.Corpus.Domains[selected].Name
 	sender := s.senderFor(user)
 
@@ -395,6 +407,12 @@ func (s *System) transmitBatched(sc *mat.Scratch, user string, words []string, s
 	j.words = words
 	j.senderCodec = encAcq.Model.Codec
 	j.recvCodec = decAcq.Model.Codec
+	if s.userNoise {
+		// The sequence advances request-side under the user lock, exactly
+		// like the solo path, so batch membership never perturbs it.
+		j.reseed = true
+		j.noiseSeed = s.nextNoiseSeed(st, user)
+	}
 	s.batcher.submit(j)
 
 	// From here the job's output slices live in the batch scratch: copy

@@ -19,9 +19,17 @@
 // user's selector context, transaction buffer and individual models form
 // one causal stream). On an otherwise idle system a user observes the
 // exact result sequence the fully serialized system would produce; under
-// concurrent traffic per-user state still evolves identically, but
-// channel-noise draws come from one shared RNG in global arrival order,
-// so individual noise realizations depend on the interleaving.
+// concurrent traffic per-user state still evolves identically.
+//
+// Channel noise comes in two schemes. The classic single-sender mode
+// draws from one shared RNG in global arrival order, so individual noise
+// realizations depend on the interleaving (historical behavior, pinned
+// by golden digests). Cluster mode (Config.Nodes > 1) — and any system
+// with Config.PerUserNoise set — instead derives an independent noise
+// stream per (user, message-sequence) pair, making every user's noise
+// independent of interleaving AND of which process serves them: a
+// multi-process mesh whose nodes each run their own System reproduces
+// the single-process cluster's noise bit-for-bit.
 package core
 
 import (
@@ -66,6 +74,27 @@ type Config struct {
 	// cooperative caching between nodes. 0 or 1 keeps the classic
 	// single-sender two-edge deployment.
 	Nodes int
+
+	// PerUserNoise derives an independent channel-noise stream per
+	// (user, message-sequence) pair instead of drawing from one shared
+	// RNG in global arrival order. Forced on in cluster mode (Nodes > 1),
+	// where it is what makes a multi-process mesh bit-identical to the
+	// in-process cluster; off by default in classic mode, whose shared
+	// stream is pinned by golden digests.
+	PerUserNoise bool
+
+	// SenderName overrides the single-sender edge server's name (default
+	// "edge-sender"). A mesh member running as node i of a multi-process
+	// deployment names its local sender "node-i" so stats and errors read
+	// identically to the in-process cluster.
+	SenderName string
+
+	// SenderFetcher overrides the sender edge's model-miss resolver in
+	// single-sender mode (nil selects the standard origin fetcher). The
+	// multi-process mesh injects its cooperative over-the-wire fetcher
+	// here. Ignored in cluster mode, which wires its own per-node
+	// cooperative fetchers.
+	SenderFetcher edge.Fetcher
 
 	// SenderCacheBytes / ReceiverCacheBytes size the edge model caches;
 	// 0 sizes each cache to hold every general model plus eight
@@ -187,6 +216,12 @@ func (cfg Config) withDefaults() Config {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.Nodes > 1 {
+		cfg.PerUserNoise = true
+	}
+	if cfg.SenderName == "" {
+		cfg.SenderName = "edge-sender"
+	}
 	return cfg
 }
 
@@ -257,6 +292,13 @@ type System struct {
 	symbolRateHz float64
 	edgeLink     netsim.Link
 
+	// userNoise selects per-user derived noise streams; noiseRng is then
+	// the channel's RNG instance, reseeded under linkMu before every
+	// message so the long-lived channel (and its warm noise buffers) is
+	// reused across independent streams.
+	userNoise bool
+	noiseRng  *mat.RNG
+
 	// batcher is the cross-request dynamic batching collector, nil when
 	// Config.BatchWindow is zero (solo per-request path).
 	batcher *batcher
@@ -273,6 +315,10 @@ type System struct {
 type userState struct {
 	mu  sync.Mutex
 	sel selection.Selector // nil under the oracle policy
+	// noiseSeq counts the user's messages for per-user noise derivation
+	// (PerUserNoise mode). It migrates with the user on a mesh handover so
+	// the noise stream continues bit-identically on the new serving node.
+	noiseSeq uint64
 }
 
 // userState returns the state shard for user, creating it on first use.
@@ -399,7 +445,7 @@ func NewSystem(cfg Config) (*System, error) {
 		cfg.ReceiverCacheBytes = defaultCache
 	}
 
-	mkEdge := func(name string, capacity int64) (*edge.Server, error) {
+	mkEdge := func(name string, capacity int64, fetcher edge.Fetcher) (*edge.Server, error) {
 		policy, ok := newPolicy(cfg.Policy)
 		if !ok {
 			return nil, fmt.Errorf("core: unknown cache policy %q", cfg.Policy)
@@ -412,6 +458,7 @@ func NewSystem(cfg Config) (*System, error) {
 			ComputePerToken: cfg.ComputePerToken,
 			PinGeneral:      cfg.PinGeneral,
 			BufferThreshold: cfg.BufferThreshold,
+			Fetcher:         fetcher,
 		}, cloud)
 	}
 	var sender *edge.Server
@@ -433,12 +480,12 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 		sender = nodeCluster.Node(0).Edge()
 	} else {
-		sender, err = mkEdge("edge-sender", cfg.SenderCacheBytes)
+		sender, err = mkEdge(cfg.SenderName, cfg.SenderCacheBytes, cfg.SenderFetcher)
 		if err != nil {
 			return nil, err
 		}
 	}
-	receiver, err := mkEdge("edge-receiver", cfg.ReceiverCacheBytes)
+	receiver, err := mkEdge("edge-receiver", cfg.ReceiverCacheBytes, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -447,11 +494,12 @@ func NewSystem(cfg Config) (*System, error) {
 		code = channel.InterleavedCode{Inner: code, IV: channel.Interleaver{Depth: cfg.InterleaveDepth}}
 	}
 	rng := mat.NewRNG(cfg.Seed ^ 0x5eed)
+	noiseRng := rng.Split()
 	var ch channel.Channel
 	if cfg.Rayleigh {
-		ch = &channel.Rayleigh{SNRdB: cfg.SNRdB, Rng: rng.Split()}
+		ch = &channel.Rayleigh{SNRdB: cfg.SNRdB, Rng: noiseRng}
 	} else {
-		ch = &channel.AWGN{SNRdB: cfg.SNRdB, Rng: rng.Split()}
+		ch = &channel.AWGN{SNRdB: cfg.SNRdB, Rng: noiseRng}
 	}
 	link := channel.FeatureLink{
 		Quant: channel.Quantizer{Bits: cfg.QuantBits, Lo: -1, Hi: 1},
@@ -471,6 +519,8 @@ func NewSystem(cfg Config) (*System, error) {
 		link:         link,
 		symbolRateHz: cfg.SymbolRateHz,
 		edgeLink:     cfg.EdgeLink,
+		userNoise:    cfg.PerUserNoise,
+		noiseRng:     noiseRng,
 		users:        make(map[string]*userState, 16),
 	}
 	if cfg.BatchWindow > 0 {
@@ -546,6 +596,32 @@ type Result struct {
 	UpdateBytes int
 }
 
+// mix64 is the SplitMix64 finalizer: a cheap, high-avalanche mixer for
+// combining seed material.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// noiseSeed derives the channel-noise seed for one message in PerUserNoise
+// mode from the system seed, the user's stable hash and the user's
+// message sequence number. The derivation depends on nothing else — not
+// the serving node, not the arrival interleaving — which is the whole
+// point: any deployment shape serving the same (user, seq) message draws
+// the same noise.
+func noiseSeed(systemSeed, userHash, seq uint64) uint64 {
+	return mix64(mix64(systemSeed^0x6e6f697365) ^ userHash ^ (seq * 0x9e3779b97f4a7c15))
+}
+
+// nextNoiseSeed advances the user's message sequence and returns the
+// derived seed for this message. Caller must hold st.mu.
+func (s *System) nextNoiseSeed(st *userState, user string) uint64 {
+	seq := st.noiseSeq
+	st.noiseSeq++
+	return noiseSeed(s.cfg.Seed, cluster.Hash64(user), seq)
+}
+
 // senderFor returns the sender edge serving user: the routed cluster node
 // in cluster mode, the single sender otherwise.
 func (s *System) senderFor(user string) *edge.Server {
@@ -586,7 +662,7 @@ func (s *System) Transmit(req trace.Request) (*Result, error) {
 	} else {
 		selected = st.sel.Select(msg.Words)
 	}
-	res, decoded, err := s.transmitSelected(sc, req.User, msg.Words, selected, st.sel)
+	res, decoded, err := s.transmitSelected(sc, st, req.User, msg.Words, selected, st.sel)
 	if err != nil {
 		return nil, err
 	}
@@ -610,7 +686,7 @@ func (s *System) TransmitText(user string, words []string) (*Result, error) {
 	sc := mat.GetScratch()
 	defer mat.PutScratch(sc)
 	selected := st.sel.Select(words)
-	res, _, err := s.transmitSelected(sc, user, words, selected, st.sel)
+	res, _, err := s.transmitSelected(sc, st, user, words, selected, st.sel)
 	if err != nil {
 		return nil, err
 	}
@@ -628,9 +704,9 @@ func (s *System) TransmitText(user string, words []string) (*Result, error) {
 // buffers) come from sc, so the steady-state codec path allocates nothing;
 // the returned concepts are backed by sc and must be consumed before the
 // scratch is released.
-func (s *System) transmitSelected(sc *mat.Scratch, user string, words []string, selected int, sel selection.Selector) (*Result, []int, error) {
+func (s *System) transmitSelected(sc *mat.Scratch, st *userState, user string, words []string, selected int, sel selection.Selector) (*Result, []int, error) {
 	if s.batcher != nil {
-		return s.transmitBatched(sc, user, words, selected, sel)
+		return s.transmitBatched(sc, st, user, words, selected, sel)
 	}
 	domain := s.Corpus.Domains[selected].Name
 	sender := s.senderFor(user)
@@ -642,9 +718,18 @@ func (s *System) transmitSelected(sc *mat.Scratch, user string, words []string, 
 	}
 
 	// Step 3: physical channel. The shared noise RNG serializes here;
-	// everything compute-heavy stays outside the critical section.
+	// everything compute-heavy stays outside the critical section. In
+	// PerUserNoise mode the RNG is reseeded from (user, seq) first, so the
+	// draw is independent of arrival interleaving and serving process.
+	var seed uint64
+	if s.userNoise {
+		seed = s.nextNoiseSeed(st, user)
+	}
 	rx := sc.Mat(enc.Features.Rows, enc.Model.Codec.FeatureDim())
 	s.linkMu.Lock()
+	if s.userNoise {
+		s.noiseRng.Reseed(seed)
+	}
 	stats := s.link.SendFlatScratch(&s.linkScratch, rx.Data, enc.Features.Data)
 	s.linkMu.Unlock()
 	airTime := time.Duration(float64(stats.Symbols) / s.symbolRateHz * float64(time.Second))
@@ -739,6 +824,16 @@ func (s *System) SyncCount() int { return int(s.syncCount.Load()) }
 // SyncLatency returns the cumulative simulated edge-link transfer time of
 // all shipped decoder updates.
 func (s *System) SyncLatency() time.Duration { return time.Duration(s.syncLatency.Load()) }
+
+// CloudLink returns the (defaulted) edge-to-cloud link the system
+// charges for origin model fetches — what an external fetcher (e.g. the
+// mesh's origin fallback) must charge to match in-process accounting.
+func (s *System) CloudLink() netsim.Link { return s.cfg.CloudLink }
+
+// MeshLink returns the (defaulted) edge-to-edge link — what the
+// in-process cluster charges for neighbor transfers, and what a
+// multi-process mesh must charge for parity.
+func (s *System) MeshLink() netsim.Link { return s.cfg.EdgeLink }
 
 // RunWorkload transmits every request in w, returning per-message
 // results. In cluster mode the workload's mobility events apply in

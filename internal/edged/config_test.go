@@ -1,0 +1,82 @@
+package edged
+
+import (
+	"errors"
+	"flag"
+	"testing"
+)
+
+// defaultConfig parses an empty command line: the documented defaults.
+func defaultConfig(t *testing.T, args ...string) *Config {
+	t.Helper()
+	fs := flag.NewFlagSet("edged", flag.ContinueOnError)
+	cfg := FromFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestFromFlagsDefaultsValidate(t *testing.T) {
+	cfg := defaultConfig(t)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	if cfg.Addr != ":7060" || cfg.Selector != "sticky" || cfg.Tier != "f64" || cfg.Seed != 1 {
+		t.Fatalf("unexpected defaults: %+v", cfg)
+	}
+	if cfg.MeshEnabled() {
+		t.Fatal("mesh enabled by default")
+	}
+}
+
+// TestValidateTypedErrors checks every rejection is a *ConfigError
+// naming the offending flag, so callers can switch on Field.
+func TestValidateTypedErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		args  []string
+		field string
+	}{
+		{"bad selector", []string{"-selector", "psychic"}, "selector"},
+		{"bad tier", []string{"-tier", "f16"}, "tier"},
+		{"negative nodes", []string{"-nodes", "-2"}, "nodes"},
+		{"negative window", []string{"-batch-window", "-1ms"}, "batch-window"},
+		{"negative shed", []string{"-shed-after", "-1s"}, "shed-after"},
+		{"one-member mesh", []string{"-peers", "localhost:7060"}, "peers"},
+		{"malformed peer", []string{"-peers", "localhost:7060,nonsense"}, "peers"},
+		{"mesh index out of range", []string{"-peers", "a:1,b:2", "-mesh-index", "2"}, "mesh-index"},
+		{"mesh vs cluster", []string{"-peers", "a:1,b:2", "-nodes", "3"}, "nodes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := defaultConfig(t, tc.args...).Validate()
+			var ce *ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("want *ConfigError, got %v", err)
+			}
+			if ce.Field != tc.field {
+				t.Fatalf("error names field %q, want %q (%v)", ce.Field, tc.field, err)
+			}
+		})
+	}
+}
+
+func TestMeshMembers(t *testing.T) {
+	cfg := defaultConfig(t, "-peers", "h0:1, h1:2,h2:3", "-mesh-index", "1")
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	members := cfg.MeshMembers()
+	if len(members) != 3 {
+		t.Fatalf("got %d members", len(members))
+	}
+	for i, m := range members {
+		if m.Index != i || m.Name != "node-"+string(rune('0'+i)) {
+			t.Fatalf("member %d = %+v", i, m)
+		}
+	}
+	if members[1].Addr != "h1:2" {
+		t.Fatalf("member 1 addr %q (whitespace not trimmed?)", members[1].Addr)
+	}
+}

@@ -1,0 +1,231 @@
+package edged
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers for PprofAddr
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/edge"
+	"repro/internal/mat"
+	"repro/internal/mesh"
+	"repro/internal/rpc"
+	"repro/internal/semantic"
+)
+
+// loadKB loads one pretrained codec per corpus domain from dir (files
+// written by cmd/semkb), in domain order.
+func loadKB(dir string) ([]*semantic.Codec, error) {
+	corp := corpus.Build()
+	out := make([]*semantic.Codec, len(corp.Domains))
+	for i, d := range corp.Domains {
+		path := filepath.Join(dir, d.Name+".kbm")
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("edged: %w (run `semkb -pretrain -out %s` first)", err, dir)
+		}
+		codec, err := semantic.ReadCodec(f, corp)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("edged: %s: %w", path, err)
+		}
+		if codec.Domain().Name != d.Name {
+			return nil, fmt.Errorf("edged: %s holds domain %q, want %q", path, codec.Domain().Name, d.Name)
+		}
+		out[i] = codec
+	}
+	return out, nil
+}
+
+// Daemon is one booted edged instance: the serving system, the optional
+// mesh membership, and the request server, ready to Listen and Serve.
+type Daemon struct {
+	Cfg  Config
+	Sys  *core.System
+	Mesh *mesh.Node // nil outside mesh mode
+
+	srv *server
+	ln  net.Listener
+}
+
+// New validates cfg and boots the daemon: models pretrained or loaded,
+// system built, caches warmed (in mesh mode only member 0 warms its
+// sender — peers fill cooperatively, which is the behavior the mesh
+// exists to show), mesh membership constructed. It does not listen yet.
+func New(cfg Config) (*Daemon, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Workers > 0 {
+		mat.SetParallelism(cfg.Workers)
+	}
+	if cfg.PprofAddr != "" {
+		// The pprof mux registers on http.DefaultServeMux via the blank
+		// import; serving it on a side port lets `go tool pprof` attach to
+		// a live daemon and profile serving hotspots under real load.
+		go func() {
+			log.Printf("edged: pprof on http://%s/debug/pprof/", cfg.PprofAddr)
+			if err := http.ListenAndServe(cfg.PprofAddr, nil); err != nil {
+				log.Printf("edged: pprof server: %v", err)
+			}
+		}()
+	}
+
+	coreCfg := core.Config{
+		Selector:        cfg.Selector,
+		SNRdB:           cfg.SNRdB,
+		PinGeneral:      true,
+		Seed:            cfg.Seed,
+		Nodes:           cfg.Nodes,
+		BatchWindow:     cfg.BatchWindow,
+		BatchMaxTokens:  cfg.BatchMaxTokens,
+		BufferThreshold: cfg.BufferThreshold,
+		Tier:            cfg.Tier,
+	}
+	var node *mesh.Node
+	if cfg.MeshEnabled() {
+		members := cfg.MeshMembers()
+		self := members[cfg.MeshIndex]
+		others := append(append([]rpc.PeerInfo{}, members[:cfg.MeshIndex]...), members[cfg.MeshIndex+1:]...)
+		var err error
+		node, err = mesh.NewNode(mesh.Config{
+			Self:          self,
+			Peers:         others,
+			RingSeed:      cfg.Seed,
+			ProbeInterval: cfg.ProbeInterval,
+			Logf:          log.Printf,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// A mesh member is a single-sender system named after its ring
+		// slot, with the mesh as its miss resolver and per-user noise on
+		// — the combination that makes the multi-process deployment
+		// bit-identical to the in-process cluster.
+		coreCfg.SenderName = self.Name
+		coreCfg.SenderFetcher = node
+		coreCfg.PerUserNoise = true
+	}
+	start := time.Now()
+	if cfg.KBDir != "" {
+		log.Printf("edged: loading pretrained models from %s...", cfg.KBDir)
+		pretrained, err := loadKB(cfg.KBDir)
+		if err != nil {
+			return nil, err
+		}
+		coreCfg.Pretrained = pretrained
+	} else {
+		log.Printf("edged: pretraining general models (selector=%s, snr=%.1f dB)...", cfg.Selector, cfg.SNRdB)
+	}
+	sys, err := core.NewSystem(coreCfg)
+	if err != nil {
+		return nil, err
+	}
+	if node != nil {
+		node.Bind(sys, edge.NewOriginFetcher(sys.Cloud, sys.CloudLink()))
+	}
+	// In cluster mode only node 0 (= sys.Sender) is warmed; likewise a
+	// mesh warms only member 0's sender. The other nodes pull models
+	// cooperatively from their neighbors on first miss, which is exactly
+	// the behavior the cluster exists to show.
+	if node == nil || node.Self().Index == 0 {
+		if _, err := sys.Sender.Prefetch(sys.Corpus.Names()); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := sys.Receiver.Prefetch(sys.Corpus.Names()); err != nil {
+		return nil, err
+	}
+	if sys.Cluster != nil {
+		log.Printf("edged: cluster mode, %d nodes (node-0 warm, peers cold)", sys.Cluster.NumNodes())
+	}
+	if node != nil {
+		log.Printf("edged: mesh mode, member %s (%d/%d)", node.Self().Name, node.Self().Index, node.Total())
+	}
+	log.Printf("edged: ready in %v (domains: %v)", time.Since(start).Round(time.Millisecond), sys.Corpus.Names())
+
+	srv := newServer(sys, cfg.MaxInflight)
+	srv.mesh = node
+	srv.idleTimeout = cfg.IdleTimeout
+	srv.writeTimeout = cfg.WriteTimeout
+	srv.shedAfter = cfg.ShedAfter
+	return &Daemon{Cfg: cfg, Sys: sys, Mesh: node, srv: srv}, nil
+}
+
+// Listen binds the daemon's TCP listener.
+func (d *Daemon) Listen() error {
+	ln, err := net.Listen("tcp", d.Cfg.Addr)
+	if err != nil {
+		return err
+	}
+	d.ln = ln
+	log.Printf("edged: listening on %s", ln.Addr())
+	return nil
+}
+
+// ListenOn adopts a pre-bound listener instead of binding Cfg.Addr —
+// mesh tests reserve every member's port up front, because the static
+// peer list must be complete before any member boots.
+func (d *Daemon) ListenOn(ln net.Listener) { d.ln = ln }
+
+// Addr returns the bound listen address (useful with ":0").
+func (d *Daemon) Addr() string {
+	if d.ln == nil {
+		return ""
+	}
+	return d.ln.Addr().String()
+}
+
+// Serve runs the accept loop until Close (or an accept error), after
+// announcing this member to its mesh peers. It drains in-flight
+// handlers before returning.
+func (d *Daemon) Serve() error {
+	if d.ln == nil {
+		if err := d.Listen(); err != nil {
+			return err
+		}
+	}
+	if d.Mesh != nil {
+		d.Mesh.Start()
+	}
+	if d.Cfg.BatchWindow > 0 {
+		log.Printf("edged: cross-request batching on (window %v)", d.Cfg.BatchWindow)
+	}
+	err := d.srv.serve(d.ln)
+	if d.Mesh != nil {
+		d.Mesh.Stop()
+	}
+	return err
+}
+
+// Close stops the daemon gracefully: the mesh membership announces its
+// departure, the listener stops accepting, and idle connections close
+// so Serve can drain the busy ones and return. Safe to call more than
+// once.
+func (d *Daemon) Close() {
+	if d.Mesh != nil {
+		d.Mesh.Stop()
+	}
+	if d.ln != nil {
+		d.ln.Close()
+	}
+	d.srv.closeIdleConns()
+}
+
+// Kill emulates a process death: the mesh membership is aborted without
+// announcing departure (peers must discover the loss through their
+// liveness probes, exactly as with a real SIGKILL), the listener closes
+// and every open connection is severed mid-stream.
+func (d *Daemon) Kill() {
+	if d.Mesh != nil {
+		d.Mesh.Abort()
+	}
+	d.Close()
+	d.srv.killConns()
+}

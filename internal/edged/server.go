@@ -1,0 +1,412 @@
+package edged
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mesh"
+	"repro/internal/metrics"
+	"repro/internal/rpc"
+	"repro/internal/text"
+)
+
+// server dispatches requests straight into the concurrent core.System; no
+// global serialization. A bounded gate caps concurrently served transmits
+// so load spikes queue at the door instead of oversubscribing the host.
+type server struct {
+	sys       *core.System
+	mesh      *mesh.Node // nil outside mesh mode
+	messages  atomic.Int64
+	inflight  atomic.Int64
+	shed      atomic.Int64
+	gate      chan struct{} // nil = unlimited
+	latency   *metrics.Histogram
+	queueWait *metrics.Histogram
+
+	idleTimeout  time.Duration // read deadline between requests
+	writeTimeout time.Duration // deadline per response write
+	shedAfter    time.Duration // server-side admission-queue patience; 0 = none
+
+	connMu  sync.Mutex
+	conns   map[net.Conn]bool // true while parked in a read between requests
+	closing bool
+}
+
+// newServer wraps sys. maxInflight 0 selects 2x GOMAXPROCS; negative
+// disables the gate.
+func newServer(sys *core.System, maxInflight int) *server {
+	if maxInflight == 0 {
+		maxInflight = 2 * runtime.GOMAXPROCS(0)
+	}
+	s := &server{
+		sys:       sys,
+		latency:   metrics.NewLatencyHistogram(),
+		queueWait: metrics.NewLatencyHistogram(),
+		conns:     make(map[net.Conn]bool),
+	}
+	if maxInflight > 0 {
+		s.gate = make(chan struct{}, maxInflight)
+	}
+	return s
+}
+
+// serve accepts connections until the listener closes, then drains the
+// in-flight handlers.
+func (s *server) serve(ln net.Listener) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// handle serves one client connection until EOF or a missed deadline: a
+// stalled peer trips the read deadline instead of pinning the goroutine
+// forever. Responses go out framed at the version the request arrived
+// with, so v1 clients and v2 mesh peers share one port.
+func (s *server) handle(conn net.Conn) {
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+		conn.Close()
+	}()
+	for {
+		if s.idleTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(s.idleTimeout)); err != nil {
+				return
+			}
+		}
+		if !s.markIdle(conn) {
+			return
+		}
+		req, version, err := rpc.ReadRequestV(conn)
+		s.markBusy(conn)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				log.Printf("edged: %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		var resp *rpc.Response
+		if rpc.IsMeshOp(req.Op) && version < rpc.Version2 {
+			// Mesh ops are a v2 surface: a v1 frame carrying one is a
+			// protocol error, never silently served.
+			resp = &rpc.Response{Error: rpc.ErrMeshOpVersion.Error()}
+		} else {
+			resp = s.dispatch(req)
+		}
+		if s.writeTimeout > 0 {
+			if err := conn.SetWriteDeadline(time.Now().Add(s.writeTimeout)); err != nil {
+				return
+			}
+		}
+		if err := rpc.WriteV(conn, version, resp); err != nil {
+			if !errors.Is(err, net.ErrClosed) {
+				log.Printf("edged: %s: write: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+	}
+}
+
+// markIdle records the connection as parked between requests. During
+// shutdown it closes the connection instead and reports false, so a
+// handler never blocks in a read the drain would have to wait out.
+func (s *server) markIdle(conn net.Conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.closing {
+		conn.Close()
+		return false
+	}
+	s.conns[conn] = true
+	return true
+}
+
+// markBusy records the connection as serving a request.
+func (s *server) markBusy(conn net.Conn) {
+	s.connMu.Lock()
+	s.conns[conn] = false
+	s.connMu.Unlock()
+}
+
+// closeIdleConns begins shutdown: connections parked between requests
+// close now (long-lived peers and idle clients reconnect or give up),
+// busy ones finish their current request and close on the next read.
+// The serve drain then completes without waiting out idle timeouts.
+func (s *server) closeIdleConns() {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	s.closing = true
+	for c, idle := range s.conns {
+		if idle {
+			c.Close()
+		}
+	}
+}
+
+// killConns severs every open connection — the hard-kill path of
+// Daemon.Kill; clients see a reset mid-stream, as with a dead process.
+func (s *server) killConns() {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	s.closing = true
+	for c := range s.conns {
+		c.Close()
+	}
+}
+
+// dispatch routes one request.
+func (s *server) dispatch(req *rpc.Request) *rpc.Response {
+	switch req.Op {
+	case rpc.OpPing:
+		return &rpc.Response{OK: true}
+	case rpc.OpStats:
+		return &rpc.Response{OK: true, Stats: s.stats()}
+	case rpc.OpTransmit:
+		return s.transmit(req)
+	case rpc.OpMove:
+		return s.move(req)
+	case rpc.OpJoin, rpc.OpLeave, rpc.OpPeerStats, rpc.OpFetchModel, rpc.OpHandoverPush:
+		return s.meshOp(req)
+	default:
+		return &rpc.Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// meshOp serves the v2 mesh surface; a daemon that is not a mesh member
+// rejects every mesh op.
+func (s *server) meshOp(req *rpc.Request) *rpc.Response {
+	if s.mesh == nil {
+		return &rpc.Response{Error: fmt.Sprintf("%s: not a mesh member", req.Op)}
+	}
+	switch req.Op {
+	case rpc.OpJoin:
+		if req.Peer == nil {
+			return &rpc.Response{Error: "join requires peer info"}
+		}
+		return &rpc.Response{OK: true, Peers: s.mesh.HandleJoin(*req.Peer)}
+	case rpc.OpLeave:
+		if req.Peer == nil {
+			return &rpc.Response{Error: "leave requires peer info"}
+		}
+		s.mesh.HandleLeave(*req.Peer)
+		return &rpc.Response{OK: true}
+	case rpc.OpPeerStats:
+		ns := s.mesh.Stats()
+		return &rpc.Response{OK: true, Node: &ns}
+	case rpc.OpFetchModel:
+		if req.Fetch == nil {
+			return &rpc.Response{Error: "fetch-model requires a model key"}
+		}
+		payload, err := s.mesh.HandleFetch(*req.Fetch)
+		if err != nil {
+			return &rpc.Response{Error: err.Error()}
+		}
+		// A nil Model is a clean miss: the prober moves on.
+		return &rpc.Response{OK: true, Model: payload}
+	case rpc.OpHandoverPush:
+		if req.Handoff == nil {
+			return &rpc.Response{Error: "handover-push requires a payload"}
+		}
+		if err := s.mesh.HandleHandoverPush(req.Handoff); err != nil {
+			return &rpc.Response{Error: err.Error()}
+		}
+		return &rpc.Response{OK: true}
+	default:
+		return &rpc.Response{Error: fmt.Sprintf("unknown mesh op %q", req.Op)}
+	}
+}
+
+// stats snapshots the daemon counters; in cluster mode the sender-side
+// numbers aggregate every node and per-node detail rides along, and a
+// mesh member reports itself as the single node of its slice of the
+// deployment (clients merge slices with rpc.Stats.Merge).
+func (s *server) stats() *rpc.Stats {
+	serve := &rpc.ServeStats{
+		InFlight:       int(s.inflight.Load()),
+		LatencyP50Ms:   s.latency.P(50),
+		LatencyP95Ms:   s.latency.P(95),
+		LatencyP99Ms:   s.latency.P(99),
+		QueueWaitP50Ms: s.queueWait.P(50),
+		QueueWaitP95Ms: s.queueWait.P(95),
+		QueueWaitP99Ms: s.queueWait.P(99),
+		Shed:           s.shed.Load(),
+	}
+	bs := s.sys.BatchStats()
+	serve.Batches = bs.Batches
+	serve.BatchedRequests = bs.BatchedRequests
+	serve.BatchOccupancy = bs.Occupancy
+	st := &rpc.Stats{
+		Messages:  int(s.messages.Load()),
+		SyncBytes: s.sys.SyncBytes(),
+		SyncCount: s.sys.SyncCount(),
+		Serve:     serve,
+	}
+	if s.mesh != nil {
+		ns := s.mesh.Stats()
+		st.SenderHitRate = ns.HitRate
+		st.CachedModels = ns.CachedModels
+		st.CacheUsedBytes = ns.CacheUsedBytes
+		st.Handovers, st.MigratedBytes = s.mesh.HandoverStats()
+		st.Nodes = []rpc.NodeStats{ns}
+		return st
+	}
+	if s.sys.Cluster == nil {
+		cs := s.sys.Sender.CacheStats()
+		st.SenderHitRate = cs.HitRate()
+		st.CachedModels = s.sys.Sender.Cache().Len()
+		st.CacheUsedBytes = s.sys.Sender.Cache().Used()
+		return st
+	}
+	cl := s.sys.Cluster.Stats()
+	st.Handovers = cl.Handovers
+	st.MigratedBytes = cl.MigratedBytes
+	var hits, misses uint64
+	st.Nodes = make([]rpc.NodeStats, len(cl.Nodes))
+	for i, n := range cl.Nodes {
+		hits += n.Cache.Hits
+		misses += n.Cache.Misses
+		st.CachedModels += n.CachedModels
+		st.CacheUsedBytes += n.CacheUsedBytes
+		st.Nodes[i] = n.RPC()
+	}
+	if total := hits + misses; total > 0 {
+		st.SenderHitRate = float64(hits) / float64(total)
+	}
+	return st
+}
+
+// move serves one OpMove: attach the user to a cell, handing their
+// individual models over when the serving node changes — across
+// processes in mesh mode, across in-process nodes in cluster mode.
+func (s *server) move(req *rpc.Request) *rpc.Response {
+	if req.User == "" {
+		return &rpc.Response{Error: "move requires a user"}
+	}
+	if s.mesh != nil {
+		h, err := s.mesh.MoveUser(req.User, req.Cell)
+		if err != nil {
+			return &rpc.Response{Error: err.Error()}
+		}
+		return &rpc.Response{OK: true, Handover: h}
+	}
+	res, err := s.sys.MoveUser(req.User, req.Cell)
+	if err != nil {
+		return &rpc.Response{Error: err.Error()}
+	}
+	return &rpc.Response{OK: true, Handover: &rpc.Handover{
+		From:          s.sys.Cluster.Node(res.From).Name(),
+		To:            s.sys.Cluster.Node(res.To).Name(),
+		Moved:         res.Moved,
+		Models:        res.Models,
+		MigratedBytes: res.Bytes,
+		LatencyMs:     float64(res.Latency) / float64(time.Millisecond),
+	}}
+}
+
+// shedLimit derives the admission-queue patience for one request: the
+// tighter of the client's deadline hint and the server's -shed-after
+// policy. Zero means wait indefinitely.
+func (s *server) shedLimit(deadlineMs float64) time.Duration {
+	limit := s.shedAfter
+	if deadlineMs > 0 {
+		d := time.Duration(deadlineMs * float64(time.Millisecond))
+		if limit <= 0 || d < limit {
+			limit = d
+		}
+	}
+	return limit
+}
+
+// admit claims a slot at the -max-inflight gate, observing queue wait. A
+// request that cannot be admitted within its shed limit is rejected with
+// a Shed response instead of queueing unboundedly: under saturation the
+// daemon degrades by refusing late work, not by serving everything late.
+func (s *server) admit(req *rpc.Request) *rpc.Response {
+	select {
+	case s.gate <- struct{}{}:
+		s.queueWait.Observe(0)
+		return nil
+	default:
+	}
+	start := time.Now()
+	if limit := s.shedLimit(req.DeadlineMs); limit > 0 {
+		timer := time.NewTimer(limit)
+		select {
+		case s.gate <- struct{}{}:
+			timer.Stop()
+		case <-timer.C:
+			s.shed.Add(1)
+			return &rpc.Response{
+				Shed:  true,
+				Error: fmt.Sprintf("shed: queued %v at admission gate", limit),
+			}
+		}
+	} else {
+		s.gate <- struct{}{}
+	}
+	s.queueWait.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	return nil
+}
+
+// transmit serves one message through the pipeline, metering service time.
+func (s *server) transmit(req *rpc.Request) *rpc.Response {
+	user := req.User
+	if user == "" {
+		user = "anonymous"
+	}
+	words := text.Tokenize(req.Text)
+	if len(words) == 0 {
+		return &rpc.Response{Error: "empty message"}
+	}
+	if s.gate != nil {
+		if shed := s.admit(req); shed != nil {
+			return shed
+		}
+		defer func() { <-s.gate }()
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	start := time.Now()
+	res, err := s.sys.TransmitText(user, words)
+	if err != nil {
+		return &rpc.Response{Error: err.Error()}
+	}
+	s.latency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	s.messages.Add(1)
+	if s.mesh != nil {
+		s.mesh.TouchUser(user)
+	}
+	return &rpc.Response{
+		OK:             true,
+		Restored:       text.Join(res.RestoredWords),
+		SelectedDomain: s.sys.Corpus.Domains[res.SelectedDomain].Name,
+		Mismatch:       res.Mismatch,
+		PayloadBytes:   res.PayloadBytes,
+		LatencyMs:      float64(res.Latency) / float64(time.Millisecond),
+		CacheHit:       res.EncCacheHit,
+		Individual:     res.UsedIndividual,
+		UpdateFired:    res.UpdateFired,
+	}
+}

@@ -25,6 +25,16 @@ func NewRNG(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// Reseed resets the generator to the exact state NewRNG(seed) would
+// produce, discarding any cached polar spare. It lets a long-lived
+// generator (and whatever buffers hang off its consumers) be reused for
+// many independent short streams without reallocating.
+func (r *RNG) Reseed(seed uint64) {
+	r.state = seed
+	r.spare = 0
+	r.hasSpare = false
+}
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

@@ -120,6 +120,23 @@ func TestShufflePreservesElements(t *testing.T) {
 	}
 }
 
+func TestReseedRestartsStream(t *testing.T) {
+	r := NewRNG(42)
+	fresh := NewRNG(42)
+	// Advance by an odd number of normal draws so a polar-method spare is
+	// pending, then reseed: the stream must restart exactly, which also
+	// proves the spare was discarded.
+	for i := 0; i < 7; i++ {
+		r.NormFloat64()
+	}
+	r.Reseed(42)
+	for i := 0; i < 20; i++ {
+		if a, b := r.NormFloat64(), fresh.NormFloat64(); a != b {
+			t.Fatalf("reseeded stream diverged from fresh at step %d: %v != %v", i, a, b)
+		}
+	}
+}
+
 func TestSplitIndependence(t *testing.T) {
 	parent := NewRNG(123)
 	child := parent.Split()

@@ -1,0 +1,437 @@
+// Package mesh turns independent edged processes into one cooperative
+// edge cluster: the multi-process counterpart of internal/cluster.
+//
+// Each process runs a single-sender core.System plus a mesh.Node. The
+// node knows the static peer list, probes peer liveness, and maintains a
+// consistent-hash ring over the live members — the same ring (same seed,
+// same virtual points) the in-process cluster uses, so a user hashes to
+// node i in a 3-process mesh exactly when the in-process `-nodes 3`
+// cluster routes them to node i. On top of membership the node provides
+// the two cross-process data paths:
+//
+//   - cooperative fetch: the node implements edge.Fetcher; a local
+//     general-model cache miss probes peer caches over the v2 wire
+//     protocol (OpFetchModel) in ring order before paying the cloud
+//     origin, mirroring the in-process cooperative fetcher including its
+//     latency accounting (simulated mesh-link transfer time, not
+//     wall-clock).
+//
+//   - handover: when a user's serving node changes (mobility or a peer
+//     death), the old owner exports the user's serving state —
+//     individual models of both edge sides plus the per-user noise
+//     sequence — and pushes it to the new owner (OpHandoverPush), which
+//     resumes the user's noise stream bit-identically.
+package mesh
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/edge"
+	"repro/internal/netsim"
+	"repro/internal/rpc"
+)
+
+// Config parameterizes a mesh member. Zero fields select documented
+// defaults.
+type Config struct {
+	// Self identifies this member: Name ("node-i"), ring index i, and
+	// the address peers reach it at.
+	Self rpc.PeerInfo
+	// Peers lists every other static member. Indices must be distinct
+	// and, together with Self.Index, cover 0..len(Peers) so the ring
+	// matches the in-process cluster's.
+	Peers []rpc.PeerInfo
+	// MeshLink models inter-node transfers (default 10 ms, 100 Mbps —
+	// the core EdgeLink default, which is what the in-process cluster
+	// charges for neighbor fetches).
+	MeshLink netsim.Link
+	// RingReplicas is the number of virtual points per node (default 64,
+	// matching internal/cluster).
+	RingReplicas int
+	// RingSeed places the virtual points (default 1, matching
+	// internal/cluster). Must equal the system seed the in-process
+	// deployment would use for routing parity.
+	RingSeed uint64
+	// ProbeInterval is the liveness-probe period (default 1s).
+	ProbeInterval time.Duration
+	// CallTimeout bounds every mesh RPC, probes included (default 2s).
+	CallTimeout time.Duration
+	// Logf receives mesh events; nil discards them.
+	Logf func(format string, args ...interface{})
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.MeshLink == (netsim.Link{}) {
+		cfg.MeshLink = netsim.Link{Latency: 10 * time.Millisecond, BandwidthBps: 100e6}
+	}
+	if cfg.RingReplicas == 0 {
+		cfg.RingReplicas = 64
+	}
+	if cfg.RingSeed == 0 {
+		cfg.RingSeed = 1
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = time.Second
+	}
+	if cfg.CallTimeout == 0 {
+		cfg.CallTimeout = 2 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...interface{}) {}
+	}
+	return cfg
+}
+
+// peer is one remote member: a lazily-dialed client plus liveness state.
+type peer struct {
+	info  rpc.PeerInfo
+	alive atomic.Bool
+
+	mu     sync.Mutex
+	client *rpc.Client
+}
+
+// call dials the peer if needed and runs fn on its client, serializing
+// callers (the underlying connection carries one request at a time). Any
+// error tears the connection down so the next call redials.
+func (p *peer) call(timeout time.Duration, fn func(ctx context.Context, c *rpc.Client) error) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.client == nil {
+		conn, err := netDialTimeout(p.info.Addr, timeout)
+		if err != nil {
+			return err
+		}
+		p.client = rpc.NewClient(conn)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := fn(ctx, p.client); err != nil {
+		p.client.Close()
+		p.client = nil
+		return err
+	}
+	return nil
+}
+
+func (p *peer) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.client != nil {
+		p.client.Close()
+		p.client = nil
+	}
+}
+
+// Node is this process's mesh membership: liveness view, ring, coop
+// fetcher and handover endpoints. It implements edge.Fetcher.
+type Node struct {
+	cfg   Config
+	self  rpc.PeerInfo
+	total int // static mesh size
+
+	// Bound after core.NewSystem via Bind.
+	sys    *core.System
+	origin edge.Fetcher
+	corp   *corpus.Corpus
+
+	mu    sync.RWMutex
+	peers map[int]*peer // static; peer state mutates, map does not
+	ring  *cluster.Ring
+	users map[string]struct{}
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	neighborHits   atomic.Int64
+	neighborServed atomic.Int64
+	neighborBytes  atomic.Int64
+	originFetches  atomic.Int64
+	originBytes    atomic.Int64
+	fetchLatency   atomic.Int64 // summed simulated ns
+	handoversIn    atomic.Int64
+	handoversOut   atomic.Int64
+	migratedBytes  atomic.Int64
+}
+
+// NewNode validates the static membership and builds the node. Every
+// member starts presumed alive: the ring initially equals the in-process
+// cluster's full ring, and the probe loop (Start) demotes members that
+// turn out to be unreachable.
+func NewNode(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	total := len(cfg.Peers) + 1
+	seen := map[int]bool{cfg.Self.Index: true}
+	if cfg.Self.Index < 0 || cfg.Self.Index >= total {
+		return nil, fmt.Errorf("mesh: self index %d out of range [0,%d)", cfg.Self.Index, total)
+	}
+	n := &Node{
+		cfg:   cfg,
+		self:  cfg.Self,
+		total: total,
+		peers: make(map[int]*peer, len(cfg.Peers)),
+		users: make(map[string]struct{}, 16),
+		stop:  make(chan struct{}),
+	}
+	for _, pi := range cfg.Peers {
+		if pi.Index < 0 || pi.Index >= total || seen[pi.Index] {
+			return nil, fmt.Errorf("mesh: peer %q index %d duplicate or out of range [0,%d)", pi.Name, pi.Index, total)
+		}
+		if pi.Addr == "" {
+			return nil, fmt.Errorf("mesh: peer %q has no address", pi.Name)
+		}
+		seen[pi.Index] = true
+		p := &peer{info: pi}
+		p.alive.Store(true)
+		n.peers[pi.Index] = p
+	}
+	n.rebuildRing()
+	return n, nil
+}
+
+// Bind attaches the serving system and the origin fallback fetcher. It
+// must run after core.NewSystem and before serving; the chicken-and-egg
+// is inherent — the system is built with the node as its SenderFetcher,
+// while the node's origin fallback needs the system's cloud registry.
+func (n *Node) Bind(sys *core.System, origin edge.Fetcher) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.sys = sys
+	n.origin = origin
+	n.corp = sys.Corpus
+}
+
+// Self returns this member's identity.
+func (n *Node) Self() rpc.PeerInfo { return n.self }
+
+// Total returns the static mesh size.
+func (n *Node) Total() int { return n.total }
+
+// Start announces this member to its peers (best-effort) and launches
+// the liveness-probe loop.
+func (n *Node) Start() {
+	for _, p := range n.peersByIndex() {
+		p := p
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.join(p)
+		}()
+	}
+	n.wg.Add(1)
+	go n.probeLoop()
+}
+
+// Stop announces departure to live peers (best-effort), stops probing
+// and closes every peer connection.
+func (n *Node) Stop() {
+	select {
+	case <-n.stop:
+		return
+	default:
+	}
+	close(n.stop)
+	for _, p := range n.peersByIndex() {
+		if p.alive.Load() {
+			p.call(n.cfg.CallTimeout, func(ctx context.Context, c *rpc.Client) error {
+				return c.Leave(ctx, n.self)
+			})
+		}
+	}
+	n.wg.Wait()
+	for _, p := range n.peersByIndex() {
+		p.close()
+	}
+}
+
+// Abort stops the node without announcing departure — the process-death
+// path: peers must discover the loss through their liveness probes,
+// exactly as with a real SIGKILL. Stop after Abort is a no-op.
+func (n *Node) Abort() {
+	select {
+	case <-n.stop:
+		return
+	default:
+	}
+	close(n.stop)
+	n.wg.Wait()
+	for _, p := range n.peersByIndex() {
+		p.close()
+	}
+}
+
+// join performs the OpJoin handshake with one peer and applies the
+// outcome to the liveness view.
+func (n *Node) join(p *peer) {
+	err := p.call(n.cfg.CallTimeout, func(ctx context.Context, c *rpc.Client) error {
+		_, err := c.Join(ctx, n.self)
+		return err
+	})
+	n.setAlive(p, err == nil)
+	if err != nil {
+		n.cfg.Logf("mesh: join %s (%s): %v", p.info.Name, p.info.Addr, err)
+	}
+}
+
+// probeLoop pings every peer once per ProbeInterval, flipping liveness
+// on the observed outcome.
+func (n *Node) probeLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-ticker.C:
+		}
+		for _, p := range n.peersByIndex() {
+			err := p.call(n.cfg.CallTimeout, func(ctx context.Context, c *rpc.Client) error {
+				return c.PingContext(ctx)
+			})
+			n.setAlive(p, err == nil)
+		}
+	}
+}
+
+// setAlive records a liveness observation, rebuilding the ring on a
+// transition.
+func (n *Node) setAlive(p *peer, alive bool) {
+	if p.alive.Swap(alive) == alive {
+		return
+	}
+	if alive {
+		n.cfg.Logf("mesh: peer %s up", p.info.Name)
+	} else {
+		n.cfg.Logf("mesh: peer %s down, rebalancing", p.info.Name)
+	}
+	n.mu.Lock()
+	n.rebuildRing()
+	n.mu.Unlock()
+}
+
+// rebuildRing recomputes the ring over the live members. Callers hold
+// n.mu (NewNode runs before concurrency starts).
+func (n *Node) rebuildRing() {
+	n.ring = cluster.NewRingFor(n.liveMembersLocked(), n.cfg.RingReplicas, n.cfg.RingSeed)
+}
+
+func (n *Node) liveMembersLocked() []int {
+	members := []int{n.self.Index}
+	for idx, p := range n.peers {
+		if p.alive.Load() {
+			members = append(members, idx)
+		}
+	}
+	sort.Ints(members)
+	return members
+}
+
+// LiveMembers returns the sorted indices of the members this node
+// believes are alive (always including itself).
+func (n *Node) LiveMembers() []int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.liveMembersLocked()
+}
+
+// Owner returns the ring index that owns user under the current live
+// membership.
+func (n *Node) Owner(user string) int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.ring.Node(user)
+}
+
+// Members returns the full static membership, self included, sorted by
+// index.
+func (n *Node) Members() []rpc.PeerInfo {
+	out := make([]rpc.PeerInfo, 0, n.total)
+	out = append(out, n.self)
+	for _, p := range n.peersByIndex() {
+		out = append(out, p.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// peersByIndex returns the remote peers in ascending index order.
+func (n *Node) peersByIndex() []*peer {
+	out := make([]*peer, 0, len(n.peers))
+	for off := 1; off < n.total; off++ {
+		if p, ok := n.peers[(n.self.Index+off)%n.total]; ok {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].info.Index < out[j].info.Index })
+	return out
+}
+
+// HandleJoin serves a peer's OpJoin: the announcement is a liveness
+// observation, and the response tells the joiner who this node knows.
+func (n *Node) HandleJoin(pi rpc.PeerInfo) []rpc.PeerInfo {
+	if p, ok := n.peers[pi.Index]; ok && p.info.Name == pi.Name {
+		n.setAlive(p, true)
+	}
+	return n.Members()
+}
+
+// HandleLeave serves a peer's OpLeave: an authoritative down observation.
+func (n *Node) HandleLeave(pi rpc.PeerInfo) {
+	if p, ok := n.peers[pi.Index]; ok && p.info.Name == pi.Name {
+		n.setAlive(p, false)
+	}
+}
+
+// TouchUser records that this node served user (stats only).
+func (n *Node) TouchUser(user string) {
+	n.mu.Lock()
+	n.users[user] = struct{}{}
+	n.mu.Unlock()
+}
+
+func (n *Node) dropUser(user string) {
+	n.mu.Lock()
+	delete(n.users, user)
+	n.mu.Unlock()
+}
+
+// Stats snapshots this member's mesh counters in the shared wire shape.
+func (n *Node) Stats() rpc.NodeStats {
+	n.mu.RLock()
+	users := len(n.users)
+	sys := n.sys
+	n.mu.RUnlock()
+	st := rpc.NodeStats{
+		Name:           n.self.Name,
+		Users:          users,
+		HandoversIn:    n.handoversIn.Load(),
+		HandoversOut:   n.handoversOut.Load(),
+		NeighborHits:   n.neighborHits.Load(),
+		NeighborServed: n.neighborServed.Load(),
+		OriginFetches:  n.originFetches.Load(),
+		NeighborBytes:  n.neighborBytes.Load(),
+		OriginBytes:    n.originBytes.Load(),
+		FetchLatencyMs: float64(n.fetchLatency.Load()) / float64(time.Millisecond),
+	}
+	if sys != nil {
+		st.HitRate = sys.Sender.CacheStats().HitRate()
+		st.CachedModels = sys.Sender.Cache().Len()
+		st.CacheUsedBytes = sys.Sender.Cache().Used()
+	}
+	return st
+}
+
+// HandoverStats returns the aggregate handover counters (out-side, the
+// figure the in-process cluster reports).
+func (n *Node) HandoverStats() (handovers, migratedBytes int64) {
+	return n.handoversOut.Load(), n.migratedBytes.Load()
+}

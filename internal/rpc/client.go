@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -61,51 +62,97 @@ func (c *Client) Close() error {
 	return err
 }
 
-// Do issues one request and reads its response, applying deadline (or the
-// client default when deadline is zero) to the whole exchange. A positive
-// deadline is also forwarded to the daemon as Request.DeadlineMs so
-// admission control can shed the request instead of serving it late.
+// DoContext issues one request and reads its response. The exchange
+// deadline derives from ctx (falling back to the client default timeout
+// when ctx carries none), and the remaining budget is forwarded to the
+// daemon as Request.DeadlineMs so admission control can shed the request
+// instead of serving it late. Cancelling ctx mid-call unblocks the
+// exchange by expiring the connection deadline.
+func (c *Client) DoContext(ctx context.Context, req *Request) (*Response, error) {
+	return c.do(ctx, Version, req)
+}
+
+// Do issues one request with an explicit per-call deadline (zero selects
+// the client default).
+//
+// Deprecated: use DoContext, which derives the deadline from a context
+// and composes with cancellation.
 func (c *Client) Do(req *Request, deadline time.Duration) (*Response, error) {
+	ctx := context.Background()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	return c.do(ctx, Version, req)
+}
+
+// do runs one framed exchange at the given protocol version under the
+// client mutex.
+func (c *Client) do(ctx context.Context, version byte, req *Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn == nil {
 		return nil, ErrClosed
 	}
-	if deadline <= 0 {
-		deadline = c.timeout
-	}
-	if deadline > 0 {
-		req.DeadlineMs = float64(deadline) / float64(time.Millisecond)
-		if err := c.conn.SetDeadline(time.Now().Add(deadline)); err != nil {
-			return nil, fmt.Errorf("rpc: set deadline: %w", err)
-		}
-		defer c.conn.SetDeadline(time.Time{})
-	}
-	if err := Write(c.conn, req); err != nil {
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return ReadResponse(c.conn)
+	conn := c.conn
+	deadline, ok := ctx.Deadline()
+	if !ok && c.timeout > 0 {
+		deadline = time.Now().Add(c.timeout)
+		ok = true
+	}
+	if ok {
+		if remain := time.Until(deadline); remain > 0 {
+			req.DeadlineMs = float64(remain) / float64(time.Millisecond)
+		}
+		if err := conn.SetDeadline(deadline); err != nil {
+			return nil, fmt.Errorf("rpc: set deadline: %w", err)
+		}
+		defer conn.SetDeadline(time.Time{})
+	}
+	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
+	defer stop()
+	if err := WriteV(conn, version, req); err != nil {
+		return nil, err
+	}
+	return ReadResponse(conn)
 }
 
 // Transmit runs one message through the daemon's semantic pipeline.
 func (c *Client) Transmit(user, text string) (*Response, error) {
-	return c.Do(&Request{Op: OpTransmit, User: user, Text: text}, 0)
+	return c.TransmitContext(context.Background(), user, text)
+}
+
+// TransmitContext is Transmit with the deadline derived from ctx.
+func (c *Client) TransmitContext(ctx context.Context, user, text string) (*Response, error) {
+	return c.do(ctx, Version, &Request{Op: OpTransmit, User: user, Text: text})
 }
 
 // TransmitDeadline is Transmit with an explicit per-call deadline.
+//
+// Deprecated: use TransmitContext.
 func (c *Client) TransmitDeadline(user, text string, deadline time.Duration) (*Response, error) {
-	return c.Do(&Request{Op: OpTransmit, User: user, Text: text}, deadline)
+	ctx := context.Background()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	return c.TransmitContext(ctx, user, text)
 }
 
 // Move attaches user to a radio cell (cluster mode). The returned
 // Response carries the Handover outcome when the daemon runs a cluster.
 func (c *Client) Move(user string, cell int) (*Response, error) {
-	return c.Do(&Request{Op: OpMove, User: user, Cell: cell}, 0)
+	return c.do(context.Background(), Version, &Request{Op: OpMove, User: user, Cell: cell})
 }
 
 // Stats fetches the daemon's counters.
 func (c *Client) Stats() (*Stats, error) {
-	resp, err := c.Do(&Request{Op: OpStats}, 0)
+	resp, err := c.do(context.Background(), Version, &Request{Op: OpStats})
 	if err != nil {
 		return nil, err
 	}
@@ -120,12 +167,87 @@ func (c *Client) Stats() (*Stats, error) {
 
 // Ping checks daemon liveness.
 func (c *Client) Ping() error {
-	resp, err := c.Do(&Request{Op: OpPing}, 0)
+	return c.PingContext(context.Background())
+}
+
+// PingContext checks daemon liveness, honoring ctx for cancellation and
+// deadline.
+func (c *Client) PingContext(ctx context.Context) error {
+	resp, err := c.do(ctx, Version, &Request{Op: OpPing})
 	if err != nil {
 		return err
 	}
 	if !resp.OK {
 		return fmt.Errorf("rpc: ping: %s", resp.Error)
+	}
+	return nil
+}
+
+// Mesh calls: peer-to-peer ops framed at protocol version 2.
+
+// Join announces peer to the daemon and returns the daemon's current
+// membership view.
+func (c *Client) Join(ctx context.Context, peer PeerInfo) ([]PeerInfo, error) {
+	resp, err := c.do(ctx, Version2, &Request{Op: OpJoin, Peer: &peer})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("rpc: join: %s", resp.Error)
+	}
+	return resp.Peers, nil
+}
+
+// Leave announces peer's graceful shutdown to the daemon.
+func (c *Client) Leave(ctx context.Context, peer PeerInfo) error {
+	resp, err := c.do(ctx, Version2, &Request{Op: OpLeave, Peer: &peer})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("rpc: leave: %s", resp.Error)
+	}
+	return nil
+}
+
+// PeerStats fetches the daemon's own per-node counter snapshot.
+func (c *Client) PeerStats(ctx context.Context) (*NodeStats, error) {
+	resp, err := c.do(ctx, Version2, &Request{Op: OpPeerStats})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("rpc: peer-stats: %s", resp.Error)
+	}
+	if resp.Node == nil {
+		return nil, errors.New("rpc: peer-stats response carried no node")
+	}
+	return resp.Node, nil
+}
+
+// FetchModel probes the daemon's cache for a model. A miss returns
+// (nil, nil): the daemon answers with Peek semantics and never forwards
+// to origin, so the caller decides when to pay the uplink.
+func (c *Client) FetchModel(ctx context.Context, fetch FetchRequest) (*ModelPayload, error) {
+	resp, err := c.do(ctx, Version2, &Request{Op: OpFetchModel, Fetch: &fetch})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("rpc: fetch-model: %s", resp.Error)
+	}
+	return resp.Model, nil
+}
+
+// HandoverPush ships a user's serving state to the daemon taking
+// ownership.
+func (c *Client) HandoverPush(ctx context.Context, h *HandoffPayload) error {
+	resp, err := c.do(ctx, Version2, &Request{Op: OpHandoverPush, Handoff: h})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("rpc: handover-push: %s", resp.Error)
 	}
 	return nil
 }

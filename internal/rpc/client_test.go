@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"io"
 	"net"
@@ -20,7 +21,7 @@ func echoServer(t *testing.T, ln net.Listener, reqs chan<- *Request) {
 		}
 		defer conn.Close()
 		for {
-			req, err := ReadRequest(conn)
+			req, version, err := ReadRequestV(conn)
 			if err != nil {
 				return
 			}
@@ -28,15 +29,28 @@ func echoServer(t *testing.T, ln net.Listener, reqs chan<- *Request) {
 				reqs <- req
 			}
 			resp := &Response{OK: true}
-			switch req.Op {
-			case OpTransmit:
-				resp.Restored = req.Text
-			case OpStats:
-				resp.Stats = &Stats{Messages: 9, Serve: &ServeStats{InFlight: 1}}
-			case OpMove:
-				resp.Handover = &Handover{From: "node-0", To: "node-1", Moved: true}
+			if IsMeshOp(req.Op) && version != Version2 {
+				resp.OK = false
+				resp.Error = ErrMeshOpVersion.Error()
+			} else {
+				switch req.Op {
+				case OpTransmit:
+					resp.Restored = req.Text
+				case OpStats:
+					resp.Stats = &Stats{Messages: 9, Serve: &ServeStats{InFlight: 1}}
+				case OpMove:
+					resp.Handover = &Handover{From: "node-0", To: "node-1", Moved: true}
+				case OpJoin:
+					resp.Peers = []PeerInfo{{Name: "node-0", Index: 0, Addr: "127.0.0.1:1"}, *req.Peer}
+				case OpPeerStats:
+					resp.Node = &NodeStats{Name: "node-0", NeighborHits: 2}
+				case OpFetchModel:
+					if req.Fetch.Domain == "it" {
+						resp.Model = &ModelPayload{Domain: "it", Version: 1, Params: []byte{5, 6}}
+					}
+				}
 			}
-			if err := Write(conn, resp); err != nil {
+			if err := WriteV(conn, version, resp); err != nil {
 				return
 			}
 		}
@@ -90,12 +104,14 @@ func TestClientCalls(t *testing.T) {
 func TestClientForwardsDeadline(t *testing.T) {
 	reqs := make(chan *Request, 1)
 	c := dialTest(t, reqs)
+	// The forwarded DeadlineMs is the budget remaining when the frame is
+	// written, so it lands just under the nominal value.
 	if _, err := c.TransmitDeadline("alice", "hi", 250*time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
 	req := <-reqs
-	if req.DeadlineMs != 250 {
-		t.Fatalf("DeadlineMs = %g, want 250", req.DeadlineMs)
+	if req.DeadlineMs <= 100 || req.DeadlineMs > 250 {
+		t.Fatalf("DeadlineMs = %g, want in (100, 250]", req.DeadlineMs)
 	}
 	// The default timeout applies when a call carries no deadline of its
 	// own.
@@ -103,8 +119,113 @@ func TestClientForwardsDeadline(t *testing.T) {
 	if _, err := c.Transmit("alice", "hi"); err != nil {
 		t.Fatal(err)
 	}
-	if req = <-reqs; req.DeadlineMs != 500 {
-		t.Fatalf("default DeadlineMs = %g, want 500", req.DeadlineMs)
+	if req = <-reqs; req.DeadlineMs <= 250 || req.DeadlineMs > 500 {
+		t.Fatalf("default DeadlineMs = %g, want in (250, 500]", req.DeadlineMs)
+	}
+}
+
+func TestClientDoContext(t *testing.T) {
+	reqs := make(chan *Request, 1)
+	c := dialTest(t, reqs)
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	resp, err := c.DoContext(ctx, &Request{Op: OpTransmit, User: "alice", Text: "hello"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || resp.Restored != "hello" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	req := <-reqs
+	if req.DeadlineMs <= 0 || req.DeadlineMs > 300 {
+		t.Fatalf("DeadlineMs = %g, want in (0, 300]", req.DeadlineMs)
+	}
+	// A cancelled context fails fast without touching the wire.
+	cancelled, stop := context.WithCancel(context.Background())
+	stop()
+	if _, err := c.DoContext(cancelled, &Request{Op: OpPing}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestClientContextCancelUnblocks(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// A server that accepts but never answers: cancelling the context must
+	// unblock the exchange even though it carries no deadline.
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		io.Copy(io.Discard, conn)
+	}()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if _, err := c.TransmitContext(ctx, "alice", "hi"); err == nil {
+		t.Fatal("call against a mute server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancel ignored: call blocked %v", elapsed)
+	}
+}
+
+func TestClientMeshCalls(t *testing.T) {
+	reqs := make(chan *Request, 1)
+	c := dialTest(t, reqs)
+	ctx := context.Background()
+
+	peers, err := c.Join(ctx, PeerInfo{Name: "node-1", Index: 1, Addr: "127.0.0.1:2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-reqs
+	if len(peers) != 2 || peers[1].Name != "node-1" {
+		t.Fatalf("join peers = %+v", peers)
+	}
+	node, err := c.PeerStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-reqs
+	if node.Name != "node-0" || node.NeighborHits != 2 {
+		t.Fatalf("peer stats = %+v", node)
+	}
+	m, err := c.FetchModel(ctx, FetchRequest{Domain: "it", Role: "codec"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-reqs
+	if m == nil || m.Domain != "it" {
+		t.Fatalf("fetch hit = %+v", m)
+	}
+	miss, err := c.FetchModel(ctx, FetchRequest{Domain: "unknown", Role: "codec"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-reqs
+	if miss != nil {
+		t.Fatalf("fetch miss returned %+v", miss)
+	}
+	if err := c.Leave(ctx, PeerInfo{Name: "node-1", Index: 1}); err != nil {
+		t.Fatal(err)
+	}
+	req := <-reqs
+	if req.Op != OpLeave || req.Peer == nil || req.Peer.Index != 1 {
+		t.Fatalf("leave request = %+v", req)
 	}
 }
 

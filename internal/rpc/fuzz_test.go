@@ -45,18 +45,32 @@ func seedFrames(f *testing.F, valid interface{}) {
 	f.Add(frame([]byte(`{}`), 1<<30))               // lying oversize header
 	f.Add(frame(bytes.Repeat([]byte{0xff}, 64), 0)) // binary garbage
 	f.Add(frameV(0, []byte(`{}`), 0))               // pre-versioning framing
-	f.Add(frameV(2, []byte(`{}`), 0))               // future protocol version
+	f.Add(frameV(Version2, []byte(`{}`), 0))        // mesh protocol version
+	f.Add(frameV(3, []byte(`{}`), 0))               // future protocol version
 	f.Add(frameV(0xff, []byte(`{}`), 0))            // junk version byte
 }
 
+// seedFramesV2 adds v2-framed variants of the mesh messages to the
+// corpus.
+func seedFramesV2(f *testing.F, valids ...interface{}) {
+	f.Helper()
+	for _, valid := range valids {
+		var buf bytes.Buffer
+		if err := WriteV(&buf, Version2, valid); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+}
+
 // checkVersionByte asserts the parser's version handling for one fuzz
-// input: any frame whose first byte is not Version must be rejected with
-// *VersionError (never accepted, never misreported), and *VersionError
-// must never surface for a current-version frame.
+// input: any frame whose first byte is neither supported version must be
+// rejected with *VersionError (never accepted, never misreported), and
+// *VersionError must never surface for a supported-version frame.
 func checkVersionByte(t *testing.T, data []byte, err error) {
 	t.Helper()
 	var verr *VersionError
-	wrongVersion := len(data) >= headerBytes && data[0] != Version
+	wrongVersion := len(data) >= headerBytes && data[0] != Version && data[0] != Version2
 	if wrongVersion && err == nil {
 		t.Fatalf("frame with version byte %d accepted", data[0])
 	}
@@ -74,21 +88,36 @@ func checkVersionByte(t *testing.T, data []byte, err error) {
 // never panic, and every frame it accepts must re-frame losslessly.
 func FuzzReadRequest(f *testing.F) {
 	seedFrames(f, &Request{Op: OpTransmit, User: "u01", Text: "the server restarted", Cell: 2})
+	seedFramesV2(f,
+		&Request{Op: OpJoin, Peer: &PeerInfo{Name: "node-1", Index: 1, Addr: "127.0.0.1:7102"}},
+		&Request{Op: OpLeave, Peer: &PeerInfo{Name: "node-2", Index: 2}},
+		&Request{Op: OpPeerStats},
+		&Request{Op: OpFetchModel, Fetch: &FetchRequest{Domain: "it", Role: "codec"}},
+		&Request{Op: OpHandoverPush, Handoff: &HandoffPayload{
+			User: "u01", FromNode: "node-0", NoiseSeq: 41,
+			Models: []HandoffModel{{Side: "sender", Model: ModelPayload{
+				Domain: "it", User: "u01", Version: 3, Params: []byte{1, 2, 3, 4},
+			}}},
+		}},
+	)
 	f.Fuzz(func(t *testing.T, data []byte) {
-		req, err := ReadRequest(bytes.NewReader(data))
+		req, version, err := ReadRequestV(bytes.NewReader(data))
 		checkVersionByte(t, data, err)
 		if err != nil {
 			return
 		}
 		var buf bytes.Buffer
-		if err := Write(&buf, req); err != nil {
+		if err := WriteV(&buf, version, req); err != nil {
 			t.Fatalf("accepted request %+v fails to serialize: %v", req, err)
 		}
-		again, err := ReadRequest(&buf)
+		again, v2, err := ReadRequestV(&buf)
 		if err != nil {
 			t.Fatalf("re-framed request fails to parse: %v", err)
 		}
-		if *again != *req {
+		if v2 != version {
+			t.Fatalf("version changed across round-trip: %d != %d", v2, version)
+		}
+		if !reflect.DeepEqual(again, req) {
 			t.Fatalf("request round-trip changed: %+v != %+v", again, req)
 		}
 	})
@@ -102,14 +131,20 @@ func FuzzReadResponse(f *testing.F) {
 		Handover: &Handover{From: "node-0", To: "node-1", Moved: true, Models: 1},
 		Stats:    &Stats{Messages: 7, Nodes: []NodeStats{{Name: "node-0", Users: 3}}},
 	})
+	seedFramesV2(f,
+		&Response{OK: true, Model: &ModelPayload{Domain: "it", Version: 2, Params: []byte{9, 8, 7}}},
+		&Response{OK: true, Node: &NodeStats{Name: "node-1", NeighborHits: 4, NeighborBytes: 512, OriginBytes: 2048, FetchLatencyMs: 5.5}},
+		&Response{OK: true, Peers: []PeerInfo{{Name: "node-0", Index: 0, Addr: "127.0.0.1:7101"}}},
+		&Response{OK: false, Error: ErrMeshOpVersion.Error()},
+	)
 	f.Fuzz(func(t *testing.T, data []byte) {
-		resp, err := ReadResponse(bytes.NewReader(data))
+		resp, version, err := ReadResponseV(bytes.NewReader(data))
 		checkVersionByte(t, data, err)
 		if err != nil {
 			return
 		}
 		var buf bytes.Buffer
-		if err := Write(&buf, resp); err != nil {
+		if err := WriteV(&buf, version, resp); err != nil {
 			t.Fatalf("accepted response fails to serialize: %v", err)
 		}
 		again, err := ReadResponse(&buf)

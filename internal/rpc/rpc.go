@@ -11,10 +11,17 @@ import (
 	"io"
 )
 
-// Version is the wire protocol version written by this build. The original
-// unversioned framing is retroactively version 1; peers speaking any other
-// version are rejected with *VersionError.
+// Version is the wire protocol version written by this build for the
+// client-facing ops (transmit/move/stats/ping). The original unversioned
+// framing is retroactively version 1.
 const Version = 1
+
+// Version2 adds the mesh ops (join/leave/peer-stats/fetch-model/
+// handover-push) spoken between edged peers. A v2 frame is identical
+// framing with version byte 2; readers accept both versions and report
+// which one arrived, so v1 clients keep working against a v2 daemon.
+// Frames with any other version byte are rejected with *VersionError.
+const Version2 = 2
 
 // headerBytes is the framed-message header size: 1 version byte + 4-byte
 // little-endian payload length.
@@ -37,6 +44,38 @@ const (
 	OpPing = "ping"
 )
 
+// Mesh ops, spoken between edged peers over v2 frames. A daemon rejects
+// these on a v1 frame (see ErrMeshOpVersion) so pre-mesh clients cannot
+// accidentally drive peer-only state transitions.
+const (
+	// OpJoin announces a peer coming online; Request.Peer identifies it.
+	OpJoin = "join"
+	// OpLeave announces a graceful shutdown; Request.Peer identifies it.
+	OpLeave = "leave"
+	// OpPeerStats returns the responding node's own NodeStats snapshot.
+	OpPeerStats = "peer-stats"
+	// OpFetchModel asks a peer whether its cache holds the model named by
+	// Request.Fetch, returning the serialized parameters on a hit
+	// (cooperative fetch over the mesh).
+	OpFetchModel = "fetch-model"
+	// OpHandoverPush ships a user's serving state (individual models plus
+	// the per-user noise sequence) to the node taking ownership.
+	OpHandoverPush = "handover-push"
+)
+
+// IsMeshOp reports whether op is peer-to-peer only and therefore requires
+// a v2 frame.
+func IsMeshOp(op string) bool {
+	switch op {
+	case OpJoin, OpLeave, OpPeerStats, OpFetchModel, OpHandoverPush:
+		return true
+	}
+	return false
+}
+
+// ErrMeshOpVersion reports a mesh op carried on a v1 frame.
+var ErrMeshOpVersion = errors.New("rpc: mesh op requires protocol version 2")
+
 // Request is a client-to-daemon message.
 type Request struct {
 	Op   string `json:"op"`
@@ -49,6 +88,62 @@ type Request struct {
 	// with an error instead of serving it when admission queueing alone
 	// would exceed the deadline.
 	DeadlineMs float64 `json:"deadline_ms,omitempty"`
+
+	// Peer identifies the calling node for OpJoin/OpLeave.
+	Peer *PeerInfo `json:"peer,omitempty"`
+	// Fetch names the model wanted by OpFetchModel.
+	Fetch *FetchRequest `json:"fetch,omitempty"`
+	// Handoff carries the migrating user state for OpHandoverPush.
+	Handoff *HandoffPayload `json:"handoff,omitempty"`
+}
+
+// PeerInfo identifies one mesh member.
+type PeerInfo struct {
+	// Name is the node name ("node-0", ...); Index its mesh position.
+	Name  string `json:"name"`
+	Index int    `json:"index"`
+	// Addr is the peer's mesh listen address, host:port.
+	Addr string `json:"addr,omitempty"`
+}
+
+// FetchRequest names a model for OpFetchModel. The responder answers from
+// its cache with Peek semantics (no eviction-policy or hit-stat
+// distortion) and reports a plain miss, never forwarding to origin — the
+// caller decides when to pay the uplink.
+type FetchRequest struct {
+	Domain string `json:"domain"`
+	User   string `json:"user,omitempty"`
+	Role   string `json:"role"`
+}
+
+// ModelPayload is a serialized model shipped between peers: the
+// OpFetchModel hit response and each entry of a handover push.
+type ModelPayload struct {
+	Domain  string `json:"domain"`
+	User    string `json:"user,omitempty"`
+	Version int    `json:"version"`
+	// Params is the full parameter payload in nn.ParamSet wire form
+	// (base64 over JSON).
+	Params []byte `json:"params"`
+}
+
+// HandoffModel is one individual model inside a handover push, tagged
+// with the pipeline side it personalizes.
+type HandoffModel struct {
+	// Side is "sender" or "receiver".
+	Side  string       `json:"side"`
+	Model ModelPayload `json:"model"`
+}
+
+// HandoffPayload is the complete user state shipped by OpHandoverPush:
+// every individual model both pipeline sides hold for the user, plus the
+// per-user channel-noise sequence counter so the user's noise stream
+// continues bit-identically on the new owner.
+type HandoffPayload struct {
+	User     string         `json:"user"`
+	FromNode string         `json:"from_node"`
+	NoiseSeq uint64         `json:"noise_seq"`
+	Models   []HandoffModel `json:"models,omitempty"`
 }
 
 // Response is a daemon-to-client message.
@@ -77,6 +172,13 @@ type Response struct {
 
 	// Stats results.
 	Stats *Stats `json:"stats,omitempty"`
+
+	// Mesh results. Model answers an OpFetchModel hit (nil on miss, with
+	// OK still true); Node answers OpPeerStats; Peers lists the
+	// responder's current view of the mesh membership for OpJoin.
+	Model *ModelPayload `json:"model,omitempty"`
+	Node  *NodeStats    `json:"node,omitempty"`
+	Peers []PeerInfo    `json:"peers,omitempty"`
 }
 
 // Handover reports one OpMove outcome.
@@ -149,7 +251,10 @@ type ServeStats struct {
 // printers.
 var BatchOccupancyLabels = [6]string{"1", "2", "3-4", "5-8", "9-16", "17+"}
 
-// NodeStats reports one cluster node's counters.
+// NodeStats reports one cluster node's counters. The field set mirrors
+// cluster.NodeStats one-for-one (FetchLatency carried as milliseconds) so
+// per-process mesh snapshots and single-process cluster snapshots
+// aggregate through the same code.
 type NodeStats struct {
 	Name           string  `json:"name"`
 	Users          int     `json:"users"`
@@ -159,26 +264,75 @@ type NodeStats struct {
 	HandoversIn    int64   `json:"handovers_in"`
 	HandoversOut   int64   `json:"handovers_out"`
 	NeighborHits   int64   `json:"neighbor_hits"`
+	NeighborBytes  int64   `json:"neighbor_bytes,omitempty"`
 	NeighborServed int64   `json:"neighbor_served"`
 	OriginFetches  int64   `json:"origin_fetches"`
+	OriginBytes    int64   `json:"origin_bytes,omitempty"`
+	FetchLatencyMs float64 `json:"fetch_latency_ms,omitempty"`
+}
+
+// Merge folds other's counters into s, so per-process stats scraped from
+// N mesh daemons aggregate to the same totals a single-process cluster
+// reports: additive counters sum, SenderHitRate re-weights by Messages,
+// and Nodes concatenates. Serve percentiles are per-process measurements
+// with no meaningful cross-process merge; s keeps its own Serve snapshot
+// untouched except for the additive shed/batch counters.
+func (s *Stats) Merge(other *Stats) {
+	if other == nil {
+		return
+	}
+	total := s.Messages + other.Messages
+	if total > 0 {
+		s.SenderHitRate = (s.SenderHitRate*float64(s.Messages) +
+			other.SenderHitRate*float64(other.Messages)) / float64(total)
+	}
+	s.Messages = total
+	s.SyncBytes += other.SyncBytes
+	s.SyncCount += other.SyncCount
+	s.CachedModels += other.CachedModels
+	s.CacheUsedBytes += other.CacheUsedBytes
+	s.Handovers += other.Handovers
+	s.MigratedBytes += other.MigratedBytes
+	s.Nodes = append(s.Nodes, other.Nodes...)
+	if other.Serve != nil {
+		if s.Serve == nil {
+			s.Serve = &ServeStats{}
+		}
+		s.Serve.InFlight += other.Serve.InFlight
+		s.Serve.Shed += other.Serve.Shed
+		s.Serve.Batches += other.Serve.Batches
+		s.Serve.BatchedRequests += other.Serve.BatchedRequests
+		for i := range s.Serve.BatchOccupancy {
+			s.Serve.BatchOccupancy[i] += other.Serve.BatchOccupancy[i]
+		}
+	}
 }
 
 // errFrameTooLarge reports an oversized wire frame.
 var errFrameTooLarge = errors.New("rpc: frame exceeds MaxMessageBytes")
 
-// VersionError reports a frame whose version byte does not match this
-// build's protocol version.
+// VersionError reports a frame whose version byte is not a protocol
+// version this build understands (1 or 2).
 type VersionError struct {
 	// Got is the version byte received from the peer.
 	Got byte
 }
 
 func (e *VersionError) Error() string {
-	return fmt.Sprintf("rpc: unsupported protocol version %d (want %d)", e.Got, Version)
+	return fmt.Sprintf("rpc: unsupported protocol version %d (want %d or %d)", e.Got, Version, Version2)
 }
 
-// Write marshals v and writes one framed message.
+// Write marshals v and writes one framed v1 message.
 func Write(w io.Writer, v interface{}) error {
+	return WriteV(w, Version, v)
+}
+
+// WriteV marshals v and writes one framed message with an explicit
+// protocol version byte. Mesh traffic uses Version2.
+func WriteV(w io.Writer, version byte, v interface{}) error {
+	if version != Version && version != Version2 {
+		return &VersionError{Got: version}
+	}
 	payload, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("rpc: marshal: %w", err)
@@ -187,7 +341,7 @@ func Write(w io.Writer, v interface{}) error {
 		return errFrameTooLarge
 	}
 	hdr := make([]byte, headerBytes)
-	hdr[0] = Version
+	hdr[0] = version
 	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
 	if _, err := w.Write(hdr); err != nil {
 		return fmt.Errorf("rpc: write header: %w", err)
@@ -198,48 +352,66 @@ func Write(w io.Writer, v interface{}) error {
 	return nil
 }
 
-// read reads one framed payload, rejecting unknown protocol versions.
-func read(r io.Reader) ([]byte, error) {
+// read reads one framed payload and the version byte that carried it,
+// rejecting unknown protocol versions.
+func read(r io.Reader) ([]byte, byte, error) {
 	hdr := make([]byte, headerBytes)
 	if _, err := io.ReadFull(r, hdr); err != nil {
-		return nil, err // io.EOF passes through for clean shutdown
+		return nil, 0, err // io.EOF passes through for clean shutdown
 	}
-	if hdr[0] != Version {
-		return nil, &VersionError{Got: hdr[0]}
+	if hdr[0] != Version && hdr[0] != Version2 {
+		return nil, 0, &VersionError{Got: hdr[0]}
 	}
 	n := binary.LittleEndian.Uint32(hdr[1:])
 	if n > MaxMessageBytes {
-		return nil, errFrameTooLarge
+		return nil, 0, errFrameTooLarge
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("rpc: read payload: %w", err)
+		return nil, 0, fmt.Errorf("rpc: read payload: %w", err)
 	}
-	return payload, nil
+	return payload, hdr[0], nil
 }
 
-// ReadRequest reads one framed Request.
+// ReadRequest reads one framed Request, accepting either protocol
+// version. Servers that must gate mesh ops on the frame version use
+// ReadRequestV.
 func ReadRequest(r io.Reader) (*Request, error) {
-	payload, err := read(r)
+	req, _, err := ReadRequestV(r)
+	return req, err
+}
+
+// ReadRequestV reads one framed Request and reports the protocol version
+// it arrived on.
+func ReadRequestV(r io.Reader) (*Request, byte, error) {
+	payload, version, err := read(r)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	var req Request
 	if err := json.Unmarshal(payload, &req); err != nil {
-		return nil, fmt.Errorf("rpc: unmarshal request: %w", err)
+		return nil, 0, fmt.Errorf("rpc: unmarshal request: %w", err)
 	}
-	return &req, nil
+	return &req, version, nil
 }
 
-// ReadResponse reads one framed Response.
+// ReadResponse reads one framed Response, accepting either protocol
+// version.
 func ReadResponse(r io.Reader) (*Response, error) {
-	payload, err := read(r)
+	resp, _, err := ReadResponseV(r)
+	return resp, err
+}
+
+// ReadResponseV reads one framed Response and reports the protocol
+// version it arrived on.
+func ReadResponseV(r io.Reader) (*Response, byte, error) {
+	payload, version, err := read(r)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	var resp Response
 	if err := json.Unmarshal(payload, &resp); err != nil {
-		return nil, fmt.Errorf("rpc: unmarshal response: %w", err)
+		return nil, 0, fmt.Errorf("rpc: unmarshal response: %w", err)
 	}
-	return &resp, nil
+	return &resp, version, nil
 }

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"math"
 	"net"
 	"testing"
 )
@@ -91,7 +92,7 @@ func TestWriteEmitsVersionByte(t *testing.T) {
 }
 
 func TestReadRejectsUnknownVersions(t *testing.T) {
-	for _, v := range []byte{0, 2, 0x7f, 0xff} {
+	for _, v := range []byte{0, 3, 0x7f, 0xff} {
 		var buf bytes.Buffer
 		buf.Write(header(v, 2))
 		buf.WriteString("{}")
@@ -103,6 +104,119 @@ func TestReadRejectsUnknownVersions(t *testing.T) {
 		if verr.Got != v {
 			t.Fatalf("VersionError.Got = %d, want %d", verr.Got, v)
 		}
+	}
+}
+
+func TestV2RequestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := &Request{Op: OpHandoverPush, Handoff: &HandoffPayload{
+		User: "alice", FromNode: "node-0", NoiseSeq: 17,
+		Models: []HandoffModel{{Side: "sender", Model: ModelPayload{
+			Domain: "it", User: "alice", Version: 2, Params: []byte{1, 2, 3},
+		}}},
+	}}
+	if err := WriteV(&buf, Version2, in); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Bytes()[0]; got != Version2 {
+		t.Fatalf("frame starts with %d, want version byte %d", got, Version2)
+	}
+	out, version, err := ReadRequestV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != Version2 {
+		t.Fatalf("version = %d, want %d", version, Version2)
+	}
+	if out.Handoff == nil || out.Handoff.NoiseSeq != 17 || len(out.Handoff.Models) != 1 {
+		t.Fatalf("handoff round trip: %+v", out.Handoff)
+	}
+	m := out.Handoff.Models[0]
+	if m.Side != "sender" || m.Model.Domain != "it" || !bytes.Equal(m.Model.Params, []byte{1, 2, 3}) {
+		t.Fatalf("model round trip: %+v", m)
+	}
+}
+
+func TestV1ReaderStillAcceptsV1(t *testing.T) {
+	// The version-returning reader must report v1 for legacy frames so a
+	// server can gate mesh ops on the version a request arrived with.
+	var buf bytes.Buffer
+	if err := Write(&buf, &Request{Op: OpTransmit, User: "alice"}); err != nil {
+		t.Fatal(err)
+	}
+	req, version, err := ReadRequestV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != Version || req.Op != OpTransmit {
+		t.Fatalf("version = %d op = %q, want %d %q", version, req.Op, Version, OpTransmit)
+	}
+}
+
+func TestWriteVRejectsUnknownVersion(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteV(&buf, 9, &Request{Op: OpPing})
+	var verr *VersionError
+	if !errors.As(err, &verr) || verr.Got != 9 {
+		t.Fatalf("err = %v, want *VersionError{Got: 9}", err)
+	}
+}
+
+func TestIsMeshOp(t *testing.T) {
+	for _, op := range []string{OpJoin, OpLeave, OpPeerStats, OpFetchModel, OpHandoverPush} {
+		if !IsMeshOp(op) {
+			t.Fatalf("IsMeshOp(%q) = false", op)
+		}
+	}
+	for _, op := range []string{OpTransmit, OpMove, OpStats, OpPing, "nonsense"} {
+		if IsMeshOp(op) {
+			t.Fatalf("IsMeshOp(%q) = true", op)
+		}
+	}
+}
+
+func TestStatsMerge(t *testing.T) {
+	a := &Stats{
+		Messages: 10, SenderHitRate: 0.8, SyncBytes: 100, SyncCount: 2,
+		CachedModels: 3, CacheUsedBytes: 300, Handovers: 1, MigratedBytes: 50,
+		Nodes: []NodeStats{{Name: "node-0", Users: 4}},
+		Serve: &ServeStats{InFlight: 1, Shed: 2, Batches: 3, BatchedRequests: 6, BatchOccupancy: [6]int64{1, 1, 1, 0, 0, 0}},
+	}
+	b := &Stats{
+		Messages: 30, SenderHitRate: 0.4, SyncBytes: 200, SyncCount: 1,
+		CachedModels: 5, CacheUsedBytes: 700, Handovers: 2, MigratedBytes: 70,
+		Nodes: []NodeStats{{Name: "node-1", Users: 6}},
+		Serve: &ServeStats{InFlight: 2, Shed: 1, Batches: 1, BatchedRequests: 2, BatchOccupancy: [6]int64{0, 1, 0, 0, 0, 0}},
+	}
+	a.Merge(b)
+	if a.Messages != 40 {
+		t.Fatalf("Messages = %d, want 40", a.Messages)
+	}
+	// Weighted hit rate: (0.8*10 + 0.4*30) / 40 = 0.5.
+	if math.Abs(a.SenderHitRate-0.5) > 1e-12 {
+		t.Fatalf("SenderHitRate = %g, want 0.5", a.SenderHitRate)
+	}
+	if a.SyncBytes != 300 || a.SyncCount != 3 || a.CachedModels != 8 || a.CacheUsedBytes != 1000 {
+		t.Fatalf("additive counters wrong: %+v", a)
+	}
+	if a.Handovers != 3 || a.MigratedBytes != 120 {
+		t.Fatalf("handover counters wrong: %+v", a)
+	}
+	if len(a.Nodes) != 2 || a.Nodes[1].Name != "node-1" {
+		t.Fatalf("Nodes = %+v", a.Nodes)
+	}
+	if a.Serve.InFlight != 3 || a.Serve.Shed != 3 || a.Serve.Batches != 4 || a.Serve.BatchedRequests != 8 {
+		t.Fatalf("Serve counters wrong: %+v", a.Serve)
+	}
+	if a.Serve.BatchOccupancy != [6]int64{1, 2, 1, 0, 0, 0} {
+		t.Fatalf("BatchOccupancy = %v", a.Serve.BatchOccupancy)
+	}
+	// Merging nil and merging into empty both behave.
+	a.Merge(nil)
+	empty := &Stats{}
+	empty.Merge(&Stats{Messages: 4, SenderHitRate: 1})
+	if empty.Messages != 4 || empty.SenderHitRate != 1 {
+		t.Fatalf("merge into empty: %+v", empty)
 	}
 }
 
