@@ -64,12 +64,37 @@ func run() error {
 	if err := d.Listen(); err != nil {
 		return err
 	}
-	sigCh := make(chan os.Signal, 1)
+	// First SIGINT/SIGTERM starts a graceful drain (bounded by
+	// -drain-timeout); a second one during a stuck drain forces an
+	// immediate crash-stop instead of being dropped on the floor — the
+	// channel holds two signals so the force path can never be missed.
+	sigCh := make(chan os.Signal, 2)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	drainStarted := make(chan struct{})
+	drainDone := make(chan struct{})
 	go func() {
 		<-sigCh
-		log.Print("edged: shutting down")
-		d.Close()
+		log.Print("edged: shutting down (signal again to force)")
+		close(drainStarted)
+		go func() {
+			defer close(drainDone)
+			if err := d.Drain(); err != nil {
+				log.Printf("edged: drain: %v", err)
+			}
+		}()
+		<-sigCh
+		log.Print("edged: second signal, forcing shutdown")
+		d.Kill()
+		os.Exit(1)
 	}()
-	return d.Serve()
+	err = d.Serve()
+	// Serve returns once the listener closes, which mid-drain happens
+	// before the handoff completes; wait the drain out so the process
+	// exits with every owned model and user safely pushed.
+	select {
+	case <-drainStarted:
+		<-drainDone
+	default:
+	}
+	return err
 }

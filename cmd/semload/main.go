@@ -22,7 +22,10 @@
 // the members build, -spawn launches the members as child edged
 // processes first, and -chaos-kill (with -mobility) SIGKILLs one member
 // halfway through the run, asserting that the survivors rebalance with
-// zero lost requests.
+// zero lost requests. -chaos-term SIGTERMs the member instead: the
+// victim drains gracefully (handing every owned model and user to the
+// survivors) and the run additionally asserts a clean exit and zero
+// survivor origin re-fetches.
 //
 // Usage:
 //
@@ -263,7 +266,9 @@ func run() error {
 		spawn     = flag.Bool("spawn", false, "launch the -mesh members as child edged processes before the run")
 		edgedBin  = flag.String("edged-bin", "edged", "edged binary to launch with -spawn")
 		kbDir     = flag.String("kb", "", "pretrained model dir forwarded to spawned members (-spawn)")
-		chaosKill = flag.Bool("chaos-kill", false, "kill one spawned mesh member halfway through a -mesh -mobility run")
+		chaosKill = flag.Bool("chaos-kill", false, "SIGKILL one spawned mesh member halfway through a -mesh -mobility run")
+		chaosTerm = flag.Bool("chaos-term", false, "SIGTERM one spawned mesh member halfway through a -mesh -mobility run (graceful drain; gates on zero errors and zero lost models)")
+		replicas  = flag.Int("replicas", 0, "forward -replicas to spawned members: hot-model replication degree (-spawn)")
 	)
 	flag.Parse()
 	if *users <= 0 || *requests <= 0 {
@@ -274,6 +279,15 @@ func run() error {
 	}
 	if *chaosKill && (*mesh == "" || !*mobility || !*spawn) {
 		return fmt.Errorf("-chaos-kill requires -mesh, -mobility and -spawn")
+	}
+	if *chaosTerm && (*mesh == "" || !*mobility || !*spawn) {
+		return fmt.Errorf("-chaos-term requires -mesh, -mobility and -spawn")
+	}
+	if *chaosKill && *chaosTerm {
+		return fmt.Errorf("-chaos-kill and -chaos-term are mutually exclusive")
+	}
+	if *replicas < 0 {
+		return fmt.Errorf("-replicas must be >= 0, got %d", *replicas)
 	}
 
 	corp := corpus.Build()
@@ -296,7 +310,7 @@ func run() error {
 		var children []*exec.Cmd
 		if *spawn {
 			var stop func()
-			children, stop, err = spawnMesh(*edgedBin, addrs, *seed, *kbDir)
+			children, stop, err = spawnMesh(*edgedBin, addrs, *seed, *kbDir, *replicas)
 			if err != nil {
 				return err
 			}
@@ -305,7 +319,7 @@ func run() error {
 		topo := newMeshTopology(addrs, *seed)
 		defer topo.close()
 		if *mobility {
-			return runMeshMobility(topo, children, *chaosKill, *users, *requests, *cells, *moveRate, *seed, *mix)
+			return runMeshMobility(topo, children, *chaosKill, *chaosTerm, *users, *requests, *cells, *moveRate, *seed, *mix)
 		}
 		// Plain closed loop against the mesh: each user's sticky connection
 		// goes to its ring owner, and the final report merges every

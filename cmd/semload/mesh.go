@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/cluster"
@@ -136,6 +137,13 @@ func (m *meshTopology) transmit(ctx context.Context, user, text string) (*rpc.Re
 			m.retries++
 			continue
 		}
+		if resp.Draining {
+			// The member answered only after handing its state off, so the
+			// retry at the recomputed owner finds the user already there.
+			m.markDead(node)
+			m.retries++
+			continue
+		}
 		return resp, nil
 	}
 	return nil, fmt.Errorf("transmit %s: no live mesh member", user)
@@ -158,6 +166,30 @@ func (m *meshTopology) move(user string, cell int) (*rpc.Response, error) {
 		m.override[user] = members[((cell%len(members))+len(members))%len(members)]
 	}
 	return resp, nil
+}
+
+// survivorOriginFetches sums OriginFetches over every live member except
+// skip — the "zero origin re-fetches after a graceful drain" gate reads
+// this before and after the SIGTERM.
+func (m *meshTopology) survivorOriginFetches(skip int) (int64, error) {
+	var total int64
+	for i := range m.addrs {
+		if i == skip || !m.alive[i] {
+			continue
+		}
+		cl, err := m.client(i)
+		if err != nil {
+			return 0, err
+		}
+		st, err := cl.Stats()
+		if err != nil {
+			return 0, err
+		}
+		for _, n := range st.Nodes {
+			total += n.OriginFetches
+		}
+	}
+	return total, nil
 }
 
 // mergedStats merges every live member's counters with Stats.Merge.
@@ -209,8 +241,9 @@ func parseMeshAddrs(mesh string) ([]string, error) {
 
 // spawnMesh launches one edged child per mesh member and waits until
 // every one answers a ping. The returned stop function kills any child
-// still running.
-func spawnMesh(bin string, addrs []string, seed uint64, kbDir string) ([]*exec.Cmd, func(), error) {
+// still running. replicas > 0 is forwarded as -replicas, arming
+// hot-model replication on every member.
+func spawnMesh(bin string, addrs []string, seed uint64, kbDir string, replicas int) ([]*exec.Cmd, func(), error) {
 	peers := strings.Join(addrs, ",")
 	children := make([]*exec.Cmd, len(addrs))
 	stop := func() {
@@ -231,6 +264,9 @@ func spawnMesh(bin string, addrs []string, seed uint64, kbDir string) ([]*exec.C
 		}
 		if kbDir != "" {
 			args = append(args, "-kb", kbDir)
+		}
+		if replicas > 0 {
+			args = append(args, "-replicas", strconv.Itoa(replicas))
 		}
 		cmd := exec.Command(bin, args...)
 		cmd.Stdout = os.Stderr
@@ -264,15 +300,18 @@ func spawnMesh(bin string, addrs []string, seed uint64, kbDir string) ([]*exec.C
 }
 
 // runMeshMobility is runMobility against a mesh: the same serial seeded
-// stream, routed client-side, with an optional chaos kill halfway
-// through. The run fails on any client-visible error, on a run with no
-// handovers, or on one where the cold members never refilled their
-// caches from a neighbor — the acceptance gates of the multi-process
-// deployment.
-func runMeshMobility(topo *meshTopology, children []*exec.Cmd, chaosKill bool,
+// stream, routed client-side, with an optional chaos kill (SIGKILL) or
+// chaos term (SIGTERM, graceful drain) halfway through. The run fails on
+// any client-visible error, on a run with no handovers, or on one where
+// the cold members never refilled their caches from a neighbor — the
+// acceptance gates of the multi-process deployment. Chaos term adds the
+// drain gates: the victim must exit cleanly within its drain budget, and
+// the survivors must finish the run with zero new origin fetches — every
+// model the drained member owned arrived by handoff, not by re-fetching.
+func runMeshMobility(topo *meshTopology, children []*exec.Cmd, chaosKill, chaosTerm bool,
 	users, requests, cells int, moveRate float64, seed uint64, mix string) error {
-	if chaosKill && children == nil {
-		return fmt.Errorf("-chaos-kill needs -spawn: semload can only kill members it started")
+	if (chaosKill || chaosTerm) && children == nil {
+		return fmt.Errorf("chaos needs -spawn: semload can only signal members it started")
 	}
 	corp := corpus.Build()
 	weights, err := parseMix(corp, mix)
@@ -295,13 +334,14 @@ func runMeshMobility(topo *meshTopology, children []*exec.Cmd, chaosKill bool,
 
 	killAt := -1
 	victim := 0
-	if chaosKill {
+	if chaosKill || chaosTerm {
 		killAt = requests / 2
 		// Kill the member serving the most traffic-relevant slot after
 		// member 0 (which holds the warm cache): the highest-index member,
 		// so survivors span both a warm and a cold node.
 		victim = len(topo.addrs) - 1
 	}
+	var preOrigin int64
 
 	var (
 		digest    uint64
@@ -313,11 +353,25 @@ func runMeshMobility(topo *meshTopology, children []*exec.Cmd, chaosKill bool,
 	start := time.Now()
 	for i := 0; i < requests; i++ {
 		if i == killAt {
-			fmt.Fprintf(os.Stderr, "semload: chaos: killing member %d (%s) at request %d\n",
-				victim, topo.addrs[victim], i)
-			children[victim].Process.Kill()
-			children[victim].Wait()
-			children[victim] = nil
+			if chaosTerm {
+				var err error
+				if preOrigin, err = topo.survivorOriginFetches(victim); err != nil {
+					return fmt.Errorf("pre-drain stats: %w", err)
+				}
+				fmt.Fprintf(os.Stderr, "semload: chaos: draining member %d (%s) at request %d\n",
+					victim, topo.addrs[victim], i)
+				// SIGTERM, no Wait: the victim drains while the load keeps
+				// flowing; requests it parks answer Draining after handoff.
+				if err := children[victim].Process.Signal(syscall.SIGTERM); err != nil {
+					return fmt.Errorf("signal member %d: %w", victim, err)
+				}
+			} else {
+				fmt.Fprintf(os.Stderr, "semload: chaos: killing member %d (%s) at request %d\n",
+					victim, topo.addrs[victim], i)
+				children[victim].Process.Kill()
+				children[victim].Wait()
+				children[victim] = nil
+			}
 		}
 		u := sched.Intn(users)
 		user := fmt.Sprintf("u%03d", u)
@@ -365,6 +419,31 @@ func runMeshMobility(topo *meshTopology, children []*exec.Cmd, chaosKill bool,
 	}
 	elapsed := time.Since(start)
 
+	var drainOrigin int64
+	if chaosTerm {
+		// The drained member must exit on its own, cleanly, within its
+		// drain budget — a hung drain or a crash-stop fallback fails the run.
+		waitCh := make(chan error, 1)
+		go func() { waitCh <- children[victim].Wait() }()
+		select {
+		case err := <-waitCh:
+			if err != nil {
+				return fmt.Errorf("drained member %d exited abnormally: %w", victim, err)
+			}
+		case <-time.After(60 * time.Second):
+			return fmt.Errorf("drained member %d did not exit within 60s", victim)
+		}
+		children[victim] = nil
+		topo.markDead(victim)
+		post, err := topo.survivorOriginFetches(victim)
+		if err != nil {
+			return fmt.Errorf("post-drain stats: %w", err)
+		}
+		drainOrigin = post - preOrigin
+		fmt.Fprintf(os.Stderr, "semload: chaos: member %d drained cleanly, survivor origin fetches +%d\n",
+			victim, drainOrigin)
+	}
+
 	fmt.Printf("requests : %d ok, %d daemon errors, %d rerouted, %d users (serial), %.2fs\n",
 		requests-daemonErr, daemonErr, topo.retries, users, elapsed.Seconds())
 	fmt.Printf("rate     : %.1f req/s (closed loop)\n", float64(requests)/elapsed.Seconds())
@@ -400,8 +479,11 @@ func runMeshMobility(topo *meshTopology, children []*exec.Cmd, chaosKill bool,
 	if neighborHits == 0 {
 		return fmt.Errorf("no neighbor cache fetches: cold members never refilled cooperatively")
 	}
-	if chaosKill && topo.retries == 0 {
-		return fmt.Errorf("chaos kill was invisible: no request was ever rerouted")
+	if (chaosKill || chaosTerm) && topo.retries == 0 {
+		return fmt.Errorf("chaos was invisible: no request was ever rerouted")
+	}
+	if chaosTerm && drainOrigin != 0 {
+		return fmt.Errorf("graceful drain lost models: survivors paid %d origin re-fetches", drainOrigin)
 	}
 	return nil
 }

@@ -51,7 +51,24 @@ type Cache struct {
 	used     int64
 	entries  map[kb.Key]*entry
 	policy   Policy
+	guard    EvictionGuard
 	stats    Stats
+}
+
+// EvictionGuard vets a proposed eviction victim: returning false asks the
+// cache to spare the entry and try another victim. The mesh installs one
+// for coordinated eviction — a member must not evict the mesh's last copy
+// of a replicated general model. The guard runs under the cache lock and
+// must not call back into the cache. Capacity still wins: when every
+// remaining victim is vetoed, spared entries are evicted anyway rather
+// than failing the insert.
+type EvictionGuard func(k kb.Key) bool
+
+// SetEvictionGuard installs guard (nil removes it).
+func (c *Cache) SetEvictionGuard(guard EvictionGuard) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.guard = guard
 }
 
 // New returns a cache with the given byte capacity and eviction policy.
@@ -121,9 +138,33 @@ func (c *Cache) Put(m *kb.Model, pinned bool) error {
 	if size > c.capacity {
 		return fmt.Errorf("%w: %s is %d bytes, capacity %d", ErrTooLarge, m.Key, size, c.capacity)
 	}
+	// Entries vetoed by the guard leave the policy for the duration of the
+	// eviction loop (so the policy proposes someone else) and re-enter it
+	// afterwards; their history resets to freshly-admitted, which is the
+	// right bias for an entry the mesh just declared precious.
+	var spared []kb.Key
+	defer func() {
+		for _, k := range spared {
+			if e, ok := c.entries[k]; ok {
+				c.policy.OnAdmit(k, e.size)
+			}
+		}
+	}()
 	for c.used+size > c.capacity {
 		victim, ok := c.policy.Victim()
 		if !ok {
+			// Out of regular victims: evict spared entries after all —
+			// local capacity is a hard bound, mesh redundancy is not.
+			if len(spared) > 0 {
+				k := spared[0]
+				spared = spared[1:]
+				if e, ok := c.entries[k]; ok {
+					delete(c.entries, k)
+					c.used -= e.size
+					c.stats.Evictions++
+				}
+				continue
+			}
 			return fmt.Errorf("%w: %s is %d bytes, %d in use by pinned entries",
 				ErrTooLarge, m.Key, size, c.used)
 		}
@@ -132,6 +173,11 @@ func (c *Cache) Put(m *kb.Model, pinned bool) error {
 			// A policy proposing an unknown key is a programming error in
 			// the policy; drop it from the policy and continue.
 			c.policy.OnRemove(victim)
+			continue
+		}
+		if c.guard != nil && !c.guard(victim) {
+			c.policy.OnRemove(victim)
+			spared = append(spared, victim)
 			continue
 		}
 		c.removeLocked(victim, ve, true)

@@ -377,3 +377,108 @@ func TestPolicyVictimEmpty(t *testing.T) {
 		}
 	}
 }
+
+func TestEvictionGuardSparesVetoedVictim(t *testing.T) {
+	c, err := New(capacityFor(t, 2), NewLRU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := testModel(t, "a", "", kb.RoleCodec)
+	b := testModel(t, "b", "", kb.RoleCodec)
+	d := testModel(t, "d", "", kb.RoleCodec)
+	e := testModel(t, "e", "", kb.RoleCodec)
+	if err := c.Put(a, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(b, false); err != nil {
+		t.Fatal(err)
+	}
+	// LRU would evict a (oldest); the guard spares it, so b goes instead.
+	c.SetEvictionGuard(func(k kb.Key) bool { return k.Domain != "a" })
+	if err := c.Put(d, false); err != nil {
+		t.Fatal(err)
+	}
+	if c.Contains(b.Key) {
+		t.Fatal("guard veto did not redirect the eviction to b")
+	}
+	if !c.Contains(a.Key) || !c.Contains(d.Key) {
+		t.Fatal("guarded entry or new entry missing")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Stats().Evictions)
+	}
+	// Lifting the guard restores normal eviction, and the spared entry is
+	// back in the policy (re-admitted fresh, so d is now the LRU victim).
+	c.SetEvictionGuard(nil)
+	if err := c.Put(e, false); err != nil {
+		t.Fatal(err)
+	}
+	if c.Contains(d.Key) {
+		t.Fatal("expected d evicted after the guard was lifted")
+	}
+	if !c.Contains(a.Key) || !c.Contains(e.Key) {
+		t.Fatal("wrong victim after lifting the guard")
+	}
+}
+
+func TestEvictionGuardCapacityWins(t *testing.T) {
+	c, err := New(capacityFor(t, 2), NewLRU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := testModel(t, "a", "", kb.RoleCodec)
+	b := testModel(t, "b", "", kb.RoleCodec)
+	d := testModel(t, "d", "", kb.RoleCodec)
+	if err := c.Put(a, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(b, false); err != nil {
+		t.Fatal(err)
+	}
+	// The guard vetoes everything; local capacity is a hard bound, so a
+	// spared entry is evicted anyway rather than failing the insert.
+	c.SetEvictionGuard(func(kb.Key) bool { return false })
+	if err := c.Put(d, false); err != nil {
+		t.Fatalf("insert failed with an all-vetoing guard: %v", err)
+	}
+	if !c.Contains(d.Key) {
+		t.Fatal("new entry missing")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	if c.Used() > c.Capacity() {
+		t.Fatal("capacity violated")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Stats().Evictions)
+	}
+}
+
+func TestEvictionGuardNeverSeesPinned(t *testing.T) {
+	c, err := New(capacityFor(t, 2), NewLRU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := testModel(t, "p", "", kb.RoleCodec)
+	b := testModel(t, "b", "", kb.RoleCodec)
+	d := testModel(t, "d", "", kb.RoleCodec)
+	if err := c.Put(pinned, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(b, false); err != nil {
+		t.Fatal(err)
+	}
+	c.SetEvictionGuard(func(k kb.Key) bool {
+		if k.Domain == "p" {
+			t.Error("guard consulted for a pinned entry")
+		}
+		return true
+	})
+	if err := c.Put(d, false); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Contains(pinned.Key) || !c.Contains(d.Key) || c.Contains(b.Key) {
+		t.Fatal("wrong eviction outcome with a pinned entry present")
+	}
+}

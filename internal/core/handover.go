@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/edge"
+	"repro/internal/selection"
 )
 
 // This file is the System-level half of multi-process handover: where the
@@ -26,6 +27,13 @@ type UserExport struct {
 	// caches for the user.
 	Sender   []*edge.ExportedModel
 	Receiver []*edge.ExportedModel
+	// Belief is the user's domain-selection posterior, when the selector
+	// carries one (sticky); nil otherwise.
+	Belief []float64
+	// Buffers are the user's pending federated-update transactions, so
+	// the next individual-model update fires at the same threshold
+	// crossing on the new owner.
+	Buffers []edge.BufferState
 }
 
 // SenderBytes sums the sender-side migration payload — the figure the
@@ -71,6 +79,10 @@ func (s *System) ExportUserForHandover(user string) (*UserExport, error) {
 	if err := export(s.Receiver, &out.Receiver); err != nil {
 		return nil, err
 	}
+	if bc, ok := st.sel.(selection.BeliefCarrier); ok {
+		out.Belief = bc.ExportBelief()
+	}
+	out.Buffers = s.Sender.ExportUserBuffers(user)
 	return out, nil
 }
 
@@ -98,6 +110,14 @@ func (s *System) ImportUserFromHandover(exp *UserExport) error {
 			return fmt.Errorf("core: import receiver %s/%s: %w", m.User, m.Domain, err)
 		}
 	}
+	if len(exp.Belief) > 0 {
+		if bc, ok := st.sel.(selection.BeliefCarrier); ok {
+			bc.ImportBelief(exp.Belief)
+		}
+	}
+	if len(exp.Buffers) > 0 {
+		s.Sender.ImportUserBuffers(exp.User, exp.Buffers)
+	}
 	return nil
 }
 
@@ -118,5 +138,8 @@ func (s *System) DropUserAfterHandover(exp *UserExport) {
 	}
 	for _, m := range exp.Receiver {
 		s.Receiver.DropUserModel(m.Domain, m.User)
+	}
+	if len(exp.Buffers) > 0 {
+		s.Sender.DropUserBuffers(exp.User)
 	}
 }

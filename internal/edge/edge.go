@@ -9,6 +9,8 @@ package edge
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -147,6 +149,11 @@ func (s *Server) ResetCacheStats() { s.cache.ResetStats() }
 
 // Cache exposes the underlying model cache for inspection.
 func (s *Server) Cache() *cache.Cache { return s.cache }
+
+// PinsGeneral reports whether this server pins general models in its
+// cache once fetched, so a peer pushing a general model (mesh drain) can
+// install it exactly as a local fetch would have.
+func (s *Server) PinsGeneral() bool { return s.pinGeneral }
 
 // bufferKey builds the buffers map key.
 func bufferKey(domain, user string) string { return user + "/" + domain }
@@ -375,6 +382,59 @@ func (s *Server) Buffer(domain, user string) *fl.Buffer {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.buffers[bufferKey(domain, user)]
+}
+
+// BufferState is one user domain-buffer snapshot, portable across edge
+// servers so a handover carries the pending federated-update transactions
+// and the update fires at the same threshold crossing on the new owner.
+type BufferState struct {
+	Domain string
+	Txs    []fl.Transaction
+}
+
+// ExportUserBuffers snapshots every non-empty transaction buffer the
+// server holds for user, sorted by domain for deterministic wire shape.
+func (s *Server) ExportUserBuffers(user string) []BufferState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []BufferState
+	prefix := user + "/"
+	for key, buf := range s.buffers {
+		if !strings.HasPrefix(key, prefix) || buf.Len() == 0 {
+			continue
+		}
+		out = append(out, BufferState{Domain: buf.Domain, Txs: buf.Transactions()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Domain < out[j].Domain })
+	return out
+}
+
+// ImportUserBuffers replaces the user's domain buffers with the given
+// snapshots (the exporter owned the user, so its view is authoritative).
+func (s *Server) ImportUserBuffers(user string, states []BufferState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range states {
+		key := bufferKey(st.Domain, user)
+		buf := fl.NewBuffer(st.Domain, user, s.bufferThreshold)
+		for _, tx := range st.Txs {
+			buf.Add(tx)
+		}
+		s.buffers[key] = buf
+	}
+}
+
+// DropUserBuffers discards every transaction buffer held for user, after
+// a handover shipped them to the new owner.
+func (s *Server) DropUserBuffers(user string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prefix := user + "/"
+	for key := range s.buffers {
+		if strings.HasPrefix(key, prefix) {
+			delete(s.buffers, key)
+		}
+	}
 }
 
 // RunUpdate executes the §II-D update process for (domain, user): it

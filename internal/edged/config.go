@@ -92,6 +92,12 @@ type Config struct {
 	MeshIndex int
 	// ProbeInterval is the mesh liveness-probe period.
 	ProbeInterval time.Duration
+	// DrainTimeout bounds the graceful drain a SIGTERM triggers: once it
+	// expires the daemon falls back to crash-stop. 0 selects 30s.
+	DrainTimeout time.Duration
+	// Replicas keeps that many mesh ring-successors warm for hot general
+	// models (proactive replica pushes); 0 disables replication.
+	Replicas int
 }
 
 // FromFlags registers every daemon flag on fs with its documented
@@ -118,6 +124,8 @@ func FromFlags(fs *flag.FlagSet) *Config {
 	fs.StringVar(&cfg.Peers, "peers", "", "mesh mode: full member list, comma-separated host:port in ring-index order (this process included)")
 	fs.IntVar(&cfg.MeshIndex, "mesh-index", 0, "mesh mode: this process's position in -peers")
 	fs.DurationVar(&cfg.ProbeInterval, "probe-interval", time.Second, "mesh liveness-probe period")
+	fs.DurationVar(&cfg.DrainTimeout, "drain-timeout", 30*time.Second, "graceful-drain budget after SIGTERM before falling back to crash-stop")
+	fs.IntVar(&cfg.Replicas, "replicas", 0, "mesh mode: keep this many ring-successors warm for hot general models (0 disables replication)")
 	return cfg
 }
 
@@ -168,6 +176,7 @@ func (c *Config) Validate() error {
 		{"batch-window", c.BatchWindow},
 		{"shed-after", c.ShedAfter},
 		{"probe-interval", c.ProbeInterval},
+		{"drain-timeout", c.DrainTimeout},
 	} {
 		if d.v < 0 {
 			return &ConfigError{Field: d.field, Value: d.v, Reason: "must be >= 0"}
@@ -179,7 +188,13 @@ func (c *Config) Validate() error {
 	if c.BufferThreshold < 0 {
 		return &ConfigError{Field: "buffer-threshold", Value: c.BufferThreshold, Reason: "must be >= 0"}
 	}
+	if c.Replicas < 0 {
+		return &ConfigError{Field: "replicas", Value: c.Replicas, Reason: "must be >= 0"}
+	}
 	if !c.MeshEnabled() {
+		if c.Replicas > 0 {
+			return &ConfigError{Field: "replicas", Value: c.Replicas, Reason: "replication needs mesh mode (-peers)"}
+		}
 		return nil
 	}
 	if c.Nodes > 1 {

@@ -1,6 +1,7 @@
 package edged
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -8,6 +9,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof handlers for PprofAddr
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -50,8 +52,9 @@ type Daemon struct {
 	Sys  *core.System
 	Mesh *mesh.Node // nil outside mesh mode
 
-	srv *server
-	ln  net.Listener
+	srv      *server
+	ln       net.Listener
+	draining atomic.Bool
 }
 
 // New validates cfg and boots the daemon: models pretrained or loaded,
@@ -99,6 +102,7 @@ func New(cfg Config) (*Daemon, error) {
 			Peers:         others,
 			RingSeed:      cfg.Seed,
 			ProbeInterval: cfg.ProbeInterval,
+			Replicas:      cfg.Replicas,
 			Logf:          log.Printf,
 		})
 		if err != nil {
@@ -129,6 +133,9 @@ func New(cfg Config) (*Daemon, error) {
 	}
 	if node != nil {
 		node.Bind(sys, edge.NewOriginFetcher(sys.Cloud, sys.CloudLink()))
+		// Coordinated eviction: a mesh member must not evict the mesh's
+		// last copy of a general model.
+		sys.Sender.Cache().SetEvictionGuard(node.EvictionGuard)
 	}
 	// In cluster mode only node 0 (= sys.Sender) is warmed; likewise a
 	// mesh warms only member 0's sender. The other nodes pull models
@@ -216,6 +223,43 @@ func (d *Daemon) Close() {
 		d.ln.Close()
 	}
 	d.srv.closeIdleConns()
+}
+
+// Drain removes the daemon from service gracefully: new transmits and
+// moves park at the drain gate, in-flight ones finish, and the mesh
+// membership hands every owned model and tracked user to the new
+// consistent-hash owners before announcing departure (see mesh.Drain).
+// Parked requests are answered with Draining only after the handoff
+// completes, so a client that retries at the new owner finds its state
+// already there. The whole drain is bounded by -drain-timeout; on
+// expiry (or a handoff error) the daemon falls back to crash-stop
+// semantics for whatever is left. Repeated calls are no-ops.
+func (d *Daemon) Drain() error {
+	if !d.draining.CompareAndSwap(false, true) {
+		return nil
+	}
+	budget := d.Cfg.DrainTimeout
+	if budget <= 0 {
+		budget = 30 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	// finishDrain must run on every path: it releases the handlers parked
+	// at the drain gate, without which Serve's handler drain never ends.
+	defer d.srv.finishDrain()
+	d.srv.beginDrain()
+	err := d.srv.awaitIdle(ctx)
+	if err == nil && d.Mesh != nil {
+		err = d.Mesh.Drain(ctx)
+	}
+	if err != nil {
+		log.Printf("edged: drain: %v; falling back to crash-stop", err)
+		d.Kill()
+		return err
+	}
+	log.Printf("edged: drain complete")
+	d.Close()
+	return nil
 }
 
 // Kill emulates a process death: the mesh membership is aborted without

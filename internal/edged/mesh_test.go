@@ -90,6 +90,13 @@ type meshDeployment struct {
 // member.
 func bootMesh(t *testing.T, n int) *meshDeployment {
 	t.Helper()
+	return bootMeshCfg(t, n, nil)
+}
+
+// bootMeshCfg is bootMesh with a per-member config hook (replication
+// degree, drain budget, ...), applied after the mesh fields are set.
+func bootMeshCfg(t *testing.T, n int, mutate func(i int, cfg *Config)) *meshDeployment {
+	t.Helper()
 	lns := make([]net.Listener, n)
 	addrs := make([]string, n)
 	peers := ""
@@ -111,6 +118,9 @@ func bootMesh(t *testing.T, n int) *meshDeployment {
 		cfg.Addr = addrs[i]
 		cfg.Peers = peers
 		cfg.MeshIndex = i
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
 		d, err := New(cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -228,6 +238,12 @@ func (r *meshRouter) transmit(user, text string) (*rpc.Response, int, error) {
 		}
 		resp, err := cl.Transmit(user, text)
 		if err != nil {
+			r.markDead(node)
+			continue
+		}
+		if resp.Draining {
+			// The member answered only after its handoff completed, so the
+			// retry at the recomputed owner finds the user's state in place.
 			r.markDead(node)
 			continue
 		}
@@ -651,5 +667,258 @@ func TestMeshChaosKill(t *testing.T) {
 	}
 	if got := requests - killAt; survivorServed < got {
 		t.Fatalf("survivors served %d, want at least the %d post-kill requests", survivorServed, got)
+	}
+}
+
+// TestMeshChaosDrain is the graceful-departure acceptance criterion:
+// drain (SIGTERM semantics) one of three members mid-run. Unlike the
+// chaos kill, a drain is lossless — every model the victim owned and
+// every user's full serving state (individual models, noise sequence,
+// selection belief, pending update buffers) is pushed to the new ring
+// owners before the victim answers Draining, so the run digest matches
+// a reference run against the same mesh with no drain at all: zero
+// client-visible errors, zero divergence, zero origin re-fetches.
+func TestMeshChaosDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos drain run in -short mode")
+	}
+	const (
+		users, requests = 6, 240
+		drainAt, victim = 120, 1
+	)
+	corp := corpus.Build()
+
+	// Every member warms its sender cache: both runs then serve with
+	// identical cache latencies, which is what makes the digests
+	// comparable (the drain moves users between members, and a response
+	// must not depend on which member produced it).
+	warmAll := func(m *meshDeployment) {
+		t.Helper()
+		for _, d := range m.daemons {
+			if _, err := d.Sys.Sender.Prefetch(d.Sys.Corpus.Names()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	workload := func(m *meshDeployment, router *meshRouter, drain bool) uint64 {
+		t.Helper()
+		root := mat.NewRNG(515)
+		sched := root.Split()
+		gens := make([]*corpus.Generator, users)
+		for i := range gens {
+			gens[i] = corpus.NewGenerator(corp, root.Split())
+		}
+		drainErr := make(chan error, 1)
+		var digest uint64
+		for i := 0; i < requests; i++ {
+			if drain && i == drainAt {
+				// Asynchronous, exactly like a SIGTERM landing mid-run: the
+				// serial load keeps flowing while the victim drains.
+				go func() { drainErr <- m.daemons[victim].Drain() }()
+			}
+			u := sched.Intn(users)
+			user := fmt.Sprintf("u%03d", u)
+			resp, _, err := router.transmit(user, gens[u].Message(u%len(corp.Domains), nil).Text())
+			if err != nil {
+				t.Fatalf("request %d: %v", i, err)
+			}
+			if !resp.OK {
+				t.Fatalf("request %d: client-visible error during drain: %q", i, resp.Error)
+			}
+			fold(&digest, "transmit", user, resp.Restored, resp.SelectedDomain,
+				strconv.FormatUint(math.Float64bits(resp.Mismatch), 16),
+				strconv.Itoa(resp.PayloadBytes),
+				strconv.FormatUint(math.Float64bits(resp.LatencyMs), 16))
+		}
+		if drain {
+			select {
+			case err := <-drainErr:
+				if err != nil {
+					t.Fatalf("drain: %v", err)
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatal("drain never finished")
+			}
+		}
+		return digest
+	}
+
+	// Reference: the identical workload against an identical mesh whose
+	// membership never changes.
+	ref := bootMesh(t, 3)
+	warmAll(ref)
+	refDigest := workload(ref, newMeshRouter(t, ref, 11), false)
+
+	// Candidate: same mesh, with member 1 drained at the midpoint.
+	m := bootMesh(t, 3)
+	warmAll(m)
+	router := newMeshRouter(t, m, 11)
+	// Boot and warmup legitimately paid origin fetches (member 0 fills
+	// the mesh's first copy from the cloud); the drain gate is that the
+	// run itself adds none.
+	preOrigin := make(map[int]int64)
+	for _, idx := range []int{0, 2} {
+		ns, err := router.nodeStats(idx)
+		if err != nil {
+			t.Fatalf("survivor %d stats: %v", idx, err)
+		}
+		preOrigin[idx] = ns.OriginFetches
+	}
+	digest := workload(m, router, true)
+
+	if digest != refDigest {
+		t.Fatalf("drained run diverged from undrained reference: %016x != %016x", digest, refDigest)
+	}
+	if router.alive[victim] {
+		t.Fatal("client never observed the drain — no request was ever rerouted")
+	}
+	var handoversIn int64
+	for _, idx := range []int{0, 2} {
+		ns, err := router.nodeStats(idx)
+		if err != nil {
+			t.Fatalf("survivor %d stats: %v", idx, err)
+		}
+		if grew := ns.OriginFetches - preOrigin[idx]; grew != 0 {
+			t.Fatalf("survivor %d paid %d origin re-fetches; a graceful drain must hand everything off", idx, grew)
+		}
+		handoversIn += ns.HandoversIn
+	}
+	if handoversIn == 0 {
+		t.Fatal("no survivor received a drain handoff: the victim's users were lost, not handed over")
+	}
+	// The drained member's probe-announced departure pinned it down:
+	// survivors agree on the two-member view.
+	live := m.daemons[0].Mesh.LiveMembers()
+	if len(live) != 2 || live[0] != 0 || live[1] != 2 {
+		t.Fatalf("survivor 0 live view after drain: %v, want [0 2]", live)
+	}
+}
+
+// TestMeshLeavePinsDeparted pins the Leave-vs-probe race: an OpLeave
+// observation is authoritative and a concurrent liveness-probe success
+// against the still-answering member (it keeps serving RPCs while its
+// drain runs) must not resurrect it. Only a fresh OpJoin revives it.
+func TestMeshLeavePinsDeparted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mesh boot in -short mode")
+	}
+	m := bootMesh(t, 3)
+	cl, err := rpc.Dial(m.addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Let the membership settle first: the boot-time joins must all be
+	// processed, or a late join would legitimately revive the member we
+	// are about to declare departed.
+	deadline := time.Now().Add(10 * time.Second)
+	for stable := 0; stable < 10; {
+		if len(m.daemons[0].Mesh.LiveMembers()) == 3 {
+			stable++
+		} else {
+			stable = 0
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("mesh never settled: live view %v", m.daemons[0].Mesh.LiveMembers())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Forge member 1's departure announcement at member 0 while member 1
+	// is in fact still up and answering member 0's probes.
+	self1 := m.daemons[1].Mesh.Self()
+	if err := cl.Leave(testCtx(t), self1); err != nil {
+		t.Fatal(err)
+	}
+	live := m.daemons[0].Mesh.LiveMembers()
+	if len(live) != 2 || live[0] != 0 || live[1] != 2 {
+		t.Fatalf("live view after leave: %v, want [0 2]", live)
+	}
+
+	// Six probe intervals' worth of successful probes against the live
+	// member must not lift the pin.
+	time.Sleep(6 * 50 * time.Millisecond)
+	live = m.daemons[0].Mesh.LiveMembers()
+	if len(live) != 2 || live[0] != 0 || live[1] != 2 {
+		t.Fatalf("probe success resurrected the departed member: live view %v, want [0 2]", live)
+	}
+
+	// A fresh join is the one event that revives it.
+	if _, err := cl.Join(testCtx(t), self1); err != nil {
+		t.Fatal(err)
+	}
+	live = m.daemons[0].Mesh.LiveMembers()
+	if len(live) != 3 {
+		t.Fatalf("join did not revive the member: live view %v, want [0 1 2]", live)
+	}
+}
+
+// TestMeshReplicaPush drives enough single-domain traffic through one
+// member to promote the domain past the hot threshold and asserts the
+// general model lands proactively on the member's ring successor —
+// without touching the user-handover counters (replication is a cache
+// concern, not a mobility event).
+func TestMeshReplicaPush(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replica run in -short mode")
+	}
+	m := bootMeshCfg(t, 3, func(i int, cfg *Config) { cfg.Replicas = 1 })
+	router := newMeshRouter(t, m, 11)
+	corp := corpus.Build()
+
+	// Pick a user owned by member 0 or 1, so the push successor is a cold
+	// member (member 0 boots warm and would count as already-replicated).
+	user, owner := "", -1
+	for u := 0; u < 64; u++ {
+		name := fmt.Sprintf("r%03d", u)
+		if o := router.owner(name); o != 2 {
+			user, owner = name, o
+			break
+		}
+	}
+	if user == "" {
+		t.Fatal("no user hashed to members 0/1")
+	}
+	succ := (owner + 1) % 3
+
+	gen := corpus.NewGenerator(corp, mat.NewRNG(5))
+	for i := 0; i < 24; i++ {
+		resp, _, err := router.transmit(user, gen.Message(0, nil).Text())
+		if err != nil || !resp.OK {
+			t.Fatalf("transmit %d: %+v, %v", i, resp, err)
+		}
+	}
+
+	// The promotion threshold is 16 served transmits on one domain and
+	// the push is asynchronous; poll the wire-visible counters.
+	deadline := time.Now().Add(5 * time.Second)
+	var os, ss *rpc.NodeStats
+	for {
+		var err1, err2 error
+		os, err1 = router.nodeStats(owner)
+		ss, err2 = router.nodeStats(succ)
+		if err1 == nil && err2 == nil && os.ReplicasOut >= 1 && ss.ReplicasIn >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never arrived: owner %+v, successor %+v (%v/%v)", os, ss, err1, err2)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if len(os.Hot) == 0 || os.Hot[0].Count < 16 {
+		t.Fatalf("owner's heat snapshot missing the hot domain: %+v", os.Hot)
+	}
+	hot := os.Hot[0].Domain
+	found := false
+	for _, d := range ss.Generals {
+		found = found || d == hot
+	}
+	if !found {
+		t.Fatalf("successor does not hold the replicated general %q: %v", hot, ss.Generals)
+	}
+	if os.HandoversOut != 0 || ss.HandoversIn != 0 {
+		t.Fatalf("replica push bumped user-handover counters: out %d, in %d", os.HandoversOut, ss.HandoversIn)
 	}
 }

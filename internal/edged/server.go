@@ -1,6 +1,7 @@
 package edged
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -38,6 +39,16 @@ type server struct {
 	connMu  sync.Mutex
 	conns   map[net.Conn]bool // true while parked in a read between requests
 	closing bool
+
+	// Drain gate: once draining, new transmits/moves park on drainGate
+	// until the handoff completes (finishDrain), then answer Draining so
+	// the client's retry lands at the new owner with state in place. busy
+	// counts admitted requests; drainIdle closes when the last finishes.
+	drainMu   sync.Mutex
+	draining  bool
+	busy      int
+	drainIdle chan struct{}
+	drainGate chan struct{}
 }
 
 // newServer wraps sys. maxInflight 0 selects 2x GOMAXPROCS; negative
@@ -176,6 +187,87 @@ func (s *server) killConns() {
 	}
 }
 
+// beginOp admits one transmit or move into the serving path. During a
+// drain it instead parks the caller until the handoff completes and
+// reports false: the handler answers Draining, and because the response
+// only goes out after the user's state reached its new owner, a serial
+// client's retry never observes missing state.
+func (s *server) beginOp() bool {
+	s.drainMu.Lock()
+	if !s.draining {
+		s.busy++
+		s.drainMu.Unlock()
+		return true
+	}
+	gate := s.drainGate
+	s.drainMu.Unlock()
+	<-gate
+	return false
+}
+
+// endOp retires one admitted request, waking the drain when the last
+// one finishes.
+func (s *server) endOp() {
+	s.drainMu.Lock()
+	s.busy--
+	if s.draining && s.busy == 0 && s.drainIdle != nil {
+		close(s.drainIdle)
+		s.drainIdle = nil
+	}
+	s.drainMu.Unlock()
+}
+
+// beginDrain stops admitting transmits and moves. Mesh ops, pings and
+// stats keep flowing — peers still probe and push during the drain.
+func (s *server) beginDrain() {
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainGate = make(chan struct{})
+	if s.busy > 0 {
+		s.drainIdle = make(chan struct{})
+	}
+	s.drainMu.Unlock()
+}
+
+// awaitIdle blocks until every admitted request has finished, or ctx
+// expires.
+func (s *server) awaitIdle(ctx context.Context) error {
+	s.drainMu.Lock()
+	idle := s.drainIdle
+	s.drainMu.Unlock()
+	if idle == nil {
+		return nil
+	}
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// finishDrain releases every handler parked at the drain gate (and any
+// that arrive later: the closed gate admits them straight to the
+// Draining answer).
+func (s *server) finishDrain() {
+	s.drainMu.Lock()
+	if s.drainGate != nil {
+		select {
+		case <-s.drainGate:
+			// already closed by an earlier finishDrain
+		default:
+			close(s.drainGate)
+		}
+	}
+	s.drainMu.Unlock()
+}
+
+// drainingResponse is the answer parked requests get once the handoff
+// is done: retry elsewhere, your state moved ahead of you.
+func drainingResponse() *rpc.Response {
+	return &rpc.Response{Draining: true, Error: "draining: member is leaving the mesh"}
+}
+
 // dispatch routes one request.
 func (s *server) dispatch(req *rpc.Request) *rpc.Response {
 	switch req.Op {
@@ -304,6 +396,10 @@ func (s *server) move(req *rpc.Request) *rpc.Response {
 	if req.User == "" {
 		return &rpc.Response{Error: "move requires a user"}
 	}
+	if !s.beginOp() {
+		return drainingResponse()
+	}
+	defer s.endOp()
 	if s.mesh != nil {
 		h, err := s.mesh.MoveUser(req.User, req.Cell)
 		if err != nil {
@@ -380,6 +476,10 @@ func (s *server) transmit(req *rpc.Request) *rpc.Response {
 	if len(words) == 0 {
 		return &rpc.Response{Error: "empty message"}
 	}
+	if !s.beginOp() {
+		return drainingResponse()
+	}
+	defer s.endOp()
 	if s.gate != nil {
 		if shed := s.admit(req); shed != nil {
 			return shed
@@ -397,6 +497,7 @@ func (s *server) transmit(req *rpc.Request) *rpc.Response {
 	s.messages.Add(1)
 	if s.mesh != nil {
 		s.mesh.TouchUser(user)
+		s.mesh.NoteDomain(s.sys.Corpus.Domains[res.SelectedDomain].Name)
 	}
 	return &rpc.Response{
 		OK:             true,

@@ -4,18 +4,12 @@ import (
 	"bytes"
 	"context"
 	"errors"
-	"net"
-	"time"
 
 	"repro/internal/edge"
 	"repro/internal/kb"
 	"repro/internal/rpc"
 	"repro/internal/semantic"
 )
-
-func netDialTimeout(addr string, timeout time.Duration) (net.Conn, error) {
-	return net.DialTimeout("tcp", addr, timeout)
-}
 
 // parseRole maps the wire role name back to a kb.Role.
 func parseRole(s string) (kb.Role, error) {
@@ -41,11 +35,11 @@ func (n *Node) FetchModel(k kb.Key) (edge.Fetch, error) {
 	req := rpc.FetchRequest{Domain: k.Domain, User: k.User, Role: k.Role.String()}
 	for off := 1; off < n.total; off++ {
 		p, ok := n.peers[(n.self.Index+off)%n.total]
-		if !ok || !p.alive.Load() {
+		if !ok || !p.usable() {
 			continue
 		}
 		var payload *rpc.ModelPayload
-		err := p.call(n.cfg.CallTimeout, func(ctx context.Context, c *rpc.Client) error {
+		err := p.call(context.Background(), n.cfg.CallTimeout, func(ctx context.Context, c *rpc.Client) error {
 			var err error
 			payload, err = c.FetchModel(ctx, req)
 			return err
@@ -59,6 +53,10 @@ func (n *Node) FetchModel(k kb.Key) (edge.Fetch, error) {
 		}
 		m, err := n.reviveModel(k, payload)
 		if err != nil {
+			// The peer answered but the stream did not revive: the
+			// connection's framing state is suspect, so tear the client
+			// down rather than reuse it for the next call.
+			p.close()
 			n.cfg.Logf("mesh: fetch %s from %s: %v", k, p.info.Name, err)
 			continue
 		}

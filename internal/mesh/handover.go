@@ -7,6 +7,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/edge"
+	"repro/internal/fl"
+	"repro/internal/kb"
 	"repro/internal/rpc"
 )
 
@@ -17,7 +19,8 @@ const (
 )
 
 // exportToWire flattens a user's exported serving state into the v2
-// handover payload.
+// handover payload: both sides' individual models, the selection belief
+// and the pending federated-update buffers.
 func exportToWire(exp *core.UserExport, from string) *rpc.HandoffPayload {
 	h := &rpc.HandoffPayload{User: exp.User, FromNode: from, NoiseSeq: exp.NoiseSeq}
 	add := func(side string, models []*edge.ExportedModel) {
@@ -32,12 +35,24 @@ func exportToWire(exp *core.UserExport, from string) *rpc.HandoffPayload {
 	}
 	add(sideSender, exp.Sender)
 	add(sideReceiver, exp.Receiver)
+	h.Belief = exp.Belief
+	for _, b := range exp.Buffers {
+		wb := rpc.BufferState{Domain: b.Domain}
+		for _, tx := range b.Txs {
+			wb.Txs = append(wb.Txs, rpc.TxState{
+				Surfaces: tx.SurfaceIDs,
+				Concepts: tx.ConceptIDs,
+				Decoded:  tx.Decoded,
+			})
+		}
+		h.Buffers = append(h.Buffers, wb)
+	}
 	return h
 }
 
 // exportFromWire is the inverse of exportToWire.
 func exportFromWire(h *rpc.HandoffPayload) (*core.UserExport, error) {
-	exp := &core.UserExport{User: h.User, NoiseSeq: h.NoiseSeq}
+	exp := &core.UserExport{User: h.User, NoiseSeq: h.NoiseSeq, Belief: h.Belief}
 	for _, hm := range h.Models {
 		m := &edge.ExportedModel{
 			Domain:  hm.Model.Domain,
@@ -53,6 +68,17 @@ func exportFromWire(h *rpc.HandoffPayload) (*core.UserExport, error) {
 		default:
 			return nil, fmt.Errorf("mesh: unknown handoff side %q", hm.Side)
 		}
+	}
+	for _, wb := range h.Buffers {
+		b := edge.BufferState{Domain: wb.Domain}
+		for _, tx := range wb.Txs {
+			b.Txs = append(b.Txs, fl.Transaction{
+				SurfaceIDs: tx.Surfaces,
+				ConceptIDs: tx.Concepts,
+				Decoded:    tx.Decoded,
+			})
+		}
+		exp.Buffers = append(exp.Buffers, b)
 	}
 	return exp, nil
 }
@@ -84,7 +110,7 @@ func (n *Node) MoveUser(user string, cell int) (*rpc.Handover, error) {
 		return nil, err
 	}
 	payload := exportToWire(exp, n.self.Name)
-	err = p.call(n.cfg.CallTimeout, func(ctx context.Context, c *rpc.Client) error {
+	err = p.call(context.Background(), n.cfg.CallTimeout, func(ctx context.Context, c *rpc.Client) error {
 		return c.HandoverPush(ctx, payload)
 	})
 	if err != nil {
@@ -106,8 +132,9 @@ func (n *Node) MoveUser(user string, cell int) (*rpc.Handover, error) {
 	}, nil
 }
 
-// HandleHandoverPush serves a peer's OpHandoverPush: install the pushed
-// user state so the first local transmit continues the user's noise
+// HandleHandoverPush serves a peer's OpHandoverPush: install any pushed
+// general models (drain rebalancing or a hot-model replica), then the
+// user state, so the first local transmit continues the user's noise
 // stream exactly where the old owner stopped.
 func (n *Node) HandleHandoverPush(h *rpc.HandoffPayload) error {
 	n.mu.RLock()
@@ -115,6 +142,32 @@ func (n *Node) HandleHandoverPush(h *rpc.HandoffPayload) error {
 	n.mu.RUnlock()
 	if sys == nil {
 		return fmt.Errorf("mesh: node not bound to a system")
+	}
+	for i := range h.General {
+		g := &h.General[i]
+		k := kb.Key{Domain: g.Domain, Role: kb.RoleCodec}
+		m, err := n.reviveModel(k, g)
+		if err != nil {
+			return fmt.Errorf("mesh: revive pushed general %s: %w", g.Domain, err)
+		}
+		// A drain push makes this node an owner: install exactly as a
+		// local origin fetch would (pin iff this edge pins generals). A
+		// replica push is a cache hint and stays evictable — coordinated
+		// eviction protects the mesh's last copy.
+		pinned := h.Reason == rpc.HandoffDrain && sys.Sender.PinsGeneral()
+		if err := sys.Sender.Cache().Put(m, pinned); err != nil {
+			if h.Reason == rpc.HandoffReplica {
+				n.cfg.Logf("mesh: replica %s rejected: %v", g.Domain, err)
+				continue
+			}
+			return fmt.Errorf("mesh: install pushed general %s: %w", g.Domain, err)
+		}
+		if h.Reason == rpc.HandoffReplica {
+			n.replicasIn.Add(1)
+		}
+	}
+	if h.User == "" {
+		return nil // pure general-model push, no user state rides along
 	}
 	exp, err := exportFromWire(h)
 	if err != nil {

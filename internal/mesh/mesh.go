@@ -26,6 +26,7 @@ package mesh
 import (
 	"context"
 	"fmt"
+	"net"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/edge"
+	"repro/internal/kb"
 	"repro/internal/netsim"
 	"repro/internal/rpc"
 )
@@ -64,6 +66,13 @@ type Config struct {
 	ProbeInterval time.Duration
 	// CallTimeout bounds every mesh RPC, probes included (default 2s).
 	CallTimeout time.Duration
+	// Replicas keeps that many ring-successors warm for hot general
+	// models: once a domain's local transmit count crosses the promotion
+	// threshold, its general model is proactively pushed to the next
+	// Replicas live successors, so the member's death or drain costs zero
+	// origin re-fetches for hot models. 0 (the default) disables
+	// replication.
+	Replicas int
 	// Logf receives mesh events; nil discards them.
 	Logf func(format string, args ...interface{})
 }
@@ -92,28 +101,44 @@ func (cfg Config) withDefaults() Config {
 
 // peer is one remote member: a lazily-dialed client plus liveness state.
 type peer struct {
-	info  rpc.PeerInfo
-	alive atomic.Bool
+	info rpc.PeerInfo
+
+	// stateMu serializes liveness transitions so an up observation from a
+	// concurrent probe cannot interleave with the departed pin-down.
+	stateMu  sync.Mutex
+	alive    atomic.Bool
+	departed atomic.Bool
+
+	// lastStats is the peer's most recent OpPeerStats snapshot, refreshed
+	// by the probe loop; nil before the first successful probe.
+	lastStats atomic.Pointer[rpc.NodeStats]
 
 	mu     sync.Mutex
 	client *rpc.Client
 }
 
+// usable reports the peer is believed alive and not pinned down by an
+// OpLeave observation.
+func (p *peer) usable() bool { return p.alive.Load() && !p.departed.Load() }
+
 // call dials the peer if needed and runs fn on its client, serializing
-// callers (the underlying connection carries one request at a time). Any
-// error tears the connection down so the next call redials.
-func (p *peer) call(timeout time.Duration, fn func(ctx context.Context, c *rpc.Client) error) error {
+// callers (the underlying connection carries one request at a time). The
+// call is bounded by both ctx and timeout, whichever expires first, so a
+// dead peer can never stall a shutdown past its drain budget. Any error
+// tears the connection down so the next call redials.
+func (p *peer) call(ctx context.Context, timeout time.Duration, fn func(ctx context.Context, c *rpc.Client) error) error {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.client == nil {
-		conn, err := netDialTimeout(p.info.Addr, timeout)
+		var d net.Dialer
+		conn, err := d.DialContext(ctx, "tcp", p.info.Addr)
 		if err != nil {
 			return err
 		}
 		p.client = rpc.NewClient(conn)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
-	defer cancel()
 	if err := fn(ctx, p.client); err != nil {
 		p.client.Close()
 		p.client = nil
@@ -148,8 +173,20 @@ type Node struct {
 	ring  *cluster.Ring
 	users map[string]struct{}
 
-	stop chan struct{}
-	wg   sync.WaitGroup
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	// asyncMu gates goAsync against wg.Wait: once stopping is set no new
+	// background work may enter the wait group.
+	asyncMu  sync.Mutex
+	stopping bool
+
+	// heat counts transmits per domain on this member; replicated marks
+	// domains whose general model this member already pushed to its
+	// successors. Both only populate with Replicas > 0.
+	heatMu     sync.Mutex
+	heat       map[string]int64
+	replicated map[string]bool
 
 	neighborHits   atomic.Int64
 	neighborServed atomic.Int64
@@ -160,6 +197,8 @@ type Node struct {
 	handoversIn    atomic.Int64
 	handoversOut   atomic.Int64
 	migratedBytes  atomic.Int64
+	replicasIn     atomic.Int64
+	replicasOut    atomic.Int64
 }
 
 // NewNode validates the static membership and builds the node. Every
@@ -174,12 +213,14 @@ func NewNode(cfg Config) (*Node, error) {
 		return nil, fmt.Errorf("mesh: self index %d out of range [0,%d)", cfg.Self.Index, total)
 	}
 	n := &Node{
-		cfg:   cfg,
-		self:  cfg.Self,
-		total: total,
-		peers: make(map[int]*peer, len(cfg.Peers)),
-		users: make(map[string]struct{}, 16),
-		stop:  make(chan struct{}),
+		cfg:        cfg,
+		self:       cfg.Self,
+		total:      total,
+		peers:      make(map[int]*peer, len(cfg.Peers)),
+		users:      make(map[string]struct{}, 16),
+		stop:       make(chan struct{}),
+		heat:       make(map[string]int64, 8),
+		replicated: make(map[string]bool, 8),
 	}
 	for _, pi := range cfg.Peers {
 		if pi.Index < 0 || pi.Index >= total || seen[pi.Index] {
@@ -230,22 +271,45 @@ func (n *Node) Start() {
 	go n.probeLoop()
 }
 
-// Stop announces departure to live peers (best-effort), stops probing
-// and closes every peer connection.
-func (n *Node) Stop() {
-	select {
-	case <-n.stop:
+// beginStop closes the stop channel exactly once and reports whether
+// this caller won the shutdown race. Losing callers (a Stop after a
+// Drain, concurrent Close/Kill) must not run the shutdown body again.
+func (n *Node) beginStop() bool {
+	won := false
+	n.stopOnce.Do(func() {
+		n.asyncMu.Lock()
+		n.stopping = true
+		n.asyncMu.Unlock()
+		close(n.stop)
+		won = true
+	})
+	return won
+}
+
+// goAsync runs f on the node's wait group unless shutdown already began.
+// The asyncMu handshake with beginStop keeps wg.Add from racing the
+// shutdown path's wg.Wait.
+func (n *Node) goAsync(f func()) {
+	n.asyncMu.Lock()
+	defer n.asyncMu.Unlock()
+	if n.stopping {
 		return
-	default:
 	}
-	close(n.stop)
-	for _, p := range n.peersByIndex() {
-		if p.alive.Load() {
-			p.call(n.cfg.CallTimeout, func(ctx context.Context, c *rpc.Client) error {
-				return c.Leave(ctx, n.self)
-			})
-		}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		f()
+	}()
+}
+
+// Stop announces departure to live peers (best-effort, in parallel, each
+// call deadline-bounded), stops probing and closes every peer
+// connection. Unlike Drain it ships no state.
+func (n *Node) Stop() {
+	if !n.beginStop() {
+		return
 	}
+	n.announceLeave(context.Background())
 	n.wg.Wait()
 	for _, p := range n.peersByIndex() {
 		p.close()
@@ -256,22 +320,42 @@ func (n *Node) Stop() {
 // path: peers must discover the loss through their liveness probes,
 // exactly as with a real SIGKILL. Stop after Abort is a no-op.
 func (n *Node) Abort() {
-	select {
-	case <-n.stop:
+	if !n.beginStop() {
 		return
-	default:
 	}
-	close(n.stop)
 	n.wg.Wait()
 	for _, p := range n.peersByIndex() {
 		p.close()
 	}
 }
 
+// announceLeave sends OpLeave to every usable peer in parallel. Each call
+// is bounded by ctx and CallTimeout, so a dead peer costs at most one
+// timeout of the caller's budget, not one per peer.
+func (n *Node) announceLeave(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, p := range n.peersByIndex() {
+		if !p.usable() {
+			continue
+		}
+		wg.Add(1)
+		go func(p *peer) {
+			defer wg.Done()
+			err := p.call(ctx, n.cfg.CallTimeout, func(ctx context.Context, c *rpc.Client) error {
+				return c.Leave(ctx, n.self)
+			})
+			if err != nil {
+				n.cfg.Logf("mesh: leave %s: %v", p.info.Name, err)
+			}
+		}(p)
+	}
+	wg.Wait()
+}
+
 // join performs the OpJoin handshake with one peer and applies the
 // outcome to the liveness view.
 func (n *Node) join(p *peer) {
-	err := p.call(n.cfg.CallTimeout, func(ctx context.Context, c *rpc.Client) error {
+	err := p.call(context.Background(), n.cfg.CallTimeout, func(ctx context.Context, c *rpc.Client) error {
 		_, err := c.Join(ctx, n.self)
 		return err
 	})
@@ -281,8 +365,11 @@ func (n *Node) join(p *peer) {
 	}
 }
 
-// probeLoop pings every peer once per ProbeInterval, flipping liveness
-// on the observed outcome.
+// probeLoop probes every peer once per ProbeInterval, flipping liveness
+// on the observed outcome. The probe is OpPeerStats rather than a bare
+// ping: the response piggybacks the peer's cached-general list and
+// domain-heat snapshot, which coordinated eviction and replication feed
+// on. Departed peers are skipped — only a fresh OpJoin revives them.
 func (n *Node) probeLoop() {
 	defer n.wg.Done()
 	ticker := time.NewTicker(n.cfg.ProbeInterval)
@@ -294,18 +381,37 @@ func (n *Node) probeLoop() {
 		case <-ticker.C:
 		}
 		for _, p := range n.peersByIndex() {
-			err := p.call(n.cfg.CallTimeout, func(ctx context.Context, c *rpc.Client) error {
-				return c.PingContext(ctx)
+			if p.departed.Load() {
+				continue
+			}
+			var st *rpc.NodeStats
+			err := p.call(context.Background(), n.cfg.CallTimeout, func(ctx context.Context, c *rpc.Client) error {
+				var err error
+				st, err = c.PeerStats(ctx)
+				return err
 			})
+			if err == nil && st != nil {
+				p.lastStats.Store(st)
+			}
 			n.setAlive(p, err == nil)
 		}
 	}
 }
 
 // setAlive records a liveness observation, rebuilding the ring on a
-// transition.
+// transition. An up observation for a peer pinned down by HandleLeave is
+// discarded: the departure announcement is authoritative, and a liveness
+// probe that raced it (the probe succeeded against the member while it
+// was still draining) must not resurrect the departed member.
 func (n *Node) setAlive(p *peer, alive bool) {
-	if p.alive.Swap(alive) == alive {
+	p.stateMu.Lock()
+	if alive && p.departed.Load() {
+		p.stateMu.Unlock()
+		return
+	}
+	changed := p.alive.Swap(alive) != alive
+	p.stateMu.Unlock()
+	if !changed {
 		return
 	}
 	if alive {
@@ -376,18 +482,42 @@ func (n *Node) peersByIndex() []*peer {
 }
 
 // HandleJoin serves a peer's OpJoin: the announcement is a liveness
-// observation, and the response tells the joiner who this node knows.
+// observation, and the response tells the joiner who this node knows. A
+// fresh join is the only event that lifts a departed pin.
 func (n *Node) HandleJoin(pi rpc.PeerInfo) []rpc.PeerInfo {
 	if p, ok := n.peers[pi.Index]; ok && p.info.Name == pi.Name {
-		n.setAlive(p, true)
+		p.stateMu.Lock()
+		p.departed.Store(false)
+		changed := !p.alive.Swap(true)
+		p.stateMu.Unlock()
+		if changed {
+			n.cfg.Logf("mesh: peer %s up", p.info.Name)
+			n.mu.Lock()
+			n.rebuildRing()
+			n.mu.Unlock()
+		}
 	}
 	return n.Members()
 }
 
-// HandleLeave serves a peer's OpLeave: an authoritative down observation.
+// HandleLeave serves a peer's OpLeave: an authoritative down observation
+// that pins the member down. Probe successes observed concurrently (the
+// draining member still answers RPCs until it exits) cannot resurrect
+// it; only a fresh OpJoin does.
 func (n *Node) HandleLeave(pi rpc.PeerInfo) {
-	if p, ok := n.peers[pi.Index]; ok && p.info.Name == pi.Name {
-		n.setAlive(p, false)
+	p, ok := n.peers[pi.Index]
+	if !ok || p.info.Name != pi.Name {
+		return
+	}
+	p.stateMu.Lock()
+	p.departed.Store(true)
+	changed := p.alive.Swap(false)
+	p.stateMu.Unlock()
+	if changed {
+		n.cfg.Logf("mesh: peer %s left, rebalancing", p.info.Name)
+		n.mu.Lock()
+		n.rebuildRing()
+		n.mu.Unlock()
 	}
 }
 
@@ -421,13 +551,86 @@ func (n *Node) Stats() rpc.NodeStats {
 		NeighborBytes:  n.neighborBytes.Load(),
 		OriginBytes:    n.originBytes.Load(),
 		FetchLatencyMs: float64(n.fetchLatency.Load()) / float64(time.Millisecond),
+		ReplicasIn:     n.replicasIn.Load(),
+		ReplicasOut:    n.replicasOut.Load(),
 	}
 	if sys != nil {
 		st.HitRate = sys.Sender.CacheStats().HitRate()
 		st.CachedModels = sys.Sender.Cache().Len()
 		st.CacheUsedBytes = sys.Sender.Cache().Used()
+		st.Generals = n.generalDomains(sys)
 	}
+	st.Hot = n.hotDomains()
 	return st
+}
+
+// generalDomains lists the domains whose general model the sender cache
+// holds, sorted.
+func (n *Node) generalDomains(sys *core.System) []string {
+	keys := sys.Sender.Cache().KeysWhere(func(k kb.Key) bool {
+		return k.User == "" && k.Role == kb.RoleCodec
+	})
+	if len(keys) == 0 {
+		return nil
+	}
+	doms := make([]string, len(keys))
+	for i, k := range keys {
+		doms[i] = k.Domain
+	}
+	sort.Strings(doms)
+	return doms
+}
+
+// hotDomains snapshots the per-domain transmit counts, hottest first,
+// capped to the hottest 8 — the popularity signal piggybacked on the
+// OpPeerStats probe exchange.
+func (n *Node) hotDomains() []rpc.DomainHeat {
+	n.heatMu.Lock()
+	out := make([]rpc.DomainHeat, 0, len(n.heat))
+	for d, c := range n.heat {
+		out = append(out, rpc.DomainHeat{Domain: d, Count: c})
+	}
+	n.heatMu.Unlock()
+	if len(out) == 0 {
+		return nil
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Domain < out[j].Domain
+	})
+	if len(out) > 8 {
+		out = out[:8]
+	}
+	return out
+}
+
+// EvictionGuard implements the mesh-wide last-holder check for
+// coordinated eviction: evicting a general model is vetoed when, by this
+// member's latest peer-stats snapshots, no live peer holds a copy — the
+// aggregate mesh cache must not silently lose its only replica of a
+// domain. User-individual models are always local-only and evict freely.
+// The guard runs under the cache lock and reads only atomics.
+func (n *Node) EvictionGuard(k kb.Key) bool {
+	if k.User != "" || k.Role != kb.RoleCodec {
+		return true
+	}
+	for _, p := range n.peersByIndex() {
+		if !p.usable() {
+			continue
+		}
+		st := p.lastStats.Load()
+		if st == nil {
+			continue
+		}
+		for _, d := range st.Generals {
+			if d == k.Domain {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // HandoverStats returns the aggregate handover counters (out-side, the

@@ -1,0 +1,107 @@
+package mesh
+
+import (
+	"bytes"
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/kb"
+	"repro/internal/rpc"
+)
+
+// replicaHotCount is the per-domain transmit count that promotes a
+// general model to "hot": crossing it triggers the one-time proactive
+// replica push to the node's ring-successors.
+const replicaHotCount = 16
+
+// NoteDomain records one served transmit for domain — the popularity
+// signal hot-model replication promotes on. When the domain crosses the
+// promotion threshold for the first time, its general model is pushed
+// asynchronously to the next Replicas live successors so losing this
+// member costs zero origin re-fetches for the hot model.
+func (n *Node) NoteDomain(domain string) {
+	if n.cfg.Replicas <= 0 {
+		return
+	}
+	n.heatMu.Lock()
+	n.heat[domain]++
+	promote := n.heat[domain] >= replicaHotCount && !n.replicated[domain]
+	if promote {
+		n.replicated[domain] = true
+	}
+	n.heatMu.Unlock()
+	if !promote {
+		return
+	}
+	n.goAsync(func() { n.pushReplicas(domain) })
+}
+
+// pushReplicas pushes domain's general model to the next Replicas usable
+// successors in index order — the same order the cooperative fetcher
+// probes on a miss, so replicas sit where a survivor looks first. A
+// successor whose latest stats snapshot already lists the domain counts
+// as warm without a wire transfer.
+func (n *Node) pushReplicas(domain string) {
+	n.mu.RLock()
+	sys := n.sys
+	n.mu.RUnlock()
+	if sys == nil {
+		return
+	}
+	payload, ok := n.generalPayload(sys, domain)
+	if !ok {
+		return // evicted since promotion; nothing to push
+	}
+	push := &rpc.HandoffPayload{
+		FromNode: n.self.Name,
+		Reason:   rpc.HandoffReplica,
+		General:  []rpc.ModelPayload{*payload},
+	}
+	pushed := 0
+	for off := 1; off < n.total && pushed < n.cfg.Replicas; off++ {
+		p, ok := n.peers[(n.self.Index+off)%n.total]
+		if !ok || !p.usable() {
+			continue
+		}
+		if st := p.lastStats.Load(); st != nil && containsString(st.Generals, domain) {
+			pushed++ // already warm
+			continue
+		}
+		err := p.call(context.Background(), n.cfg.CallTimeout, func(ctx context.Context, c *rpc.Client) error {
+			return c.HandoverPush(ctx, push)
+		})
+		if err != nil {
+			n.setAlive(p, false)
+			n.cfg.Logf("mesh: replica push %s to %s: %v", domain, p.info.Name, err)
+			continue
+		}
+		n.replicasOut.Add(1)
+		pushed++
+		n.cfg.Logf("mesh: replicated hot model %s to %s", domain, p.info.Name)
+	}
+}
+
+// generalPayload serializes domain's general model from the local sender
+// cache with Peek semantics (a push must not distort local hit stats or
+// recency), for drain and replica pushes.
+func (n *Node) generalPayload(sys *core.System, domain string) (*rpc.ModelPayload, bool) {
+	m, ok := sys.Sender.Cache().Peek(kb.Key{Domain: domain, Role: kb.RoleCodec})
+	if !ok {
+		return nil, false
+	}
+	var buf bytes.Buffer
+	if _, err := m.Codec.WriteTo(&buf); err != nil {
+		n.cfg.Logf("mesh: serialize general %s: %v", domain, err)
+		return nil, false
+	}
+	return &rpc.ModelPayload{Domain: domain, Version: m.Version, Params: buf.Bytes()}, true
+}
+
+func containsString(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -99,6 +99,16 @@ func FuzzReadRequest(f *testing.F) {
 				Domain: "it", User: "u01", Version: 3, Params: []byte{1, 2, 3, 4},
 			}}},
 		}},
+		&Request{Op: OpHandoverPush, Handoff: &HandoffPayload{
+			User: "u02", FromNode: "node-1", NoiseSeq: 7, Reason: HandoffDrain,
+			Belief:  []float64{0.5, 0.25, 0.25},
+			Buffers: []BufferState{{Domain: "it", Txs: []TxState{{Surfaces: []int{3, 1}, Concepts: []int{2}, Decoded: []int{3, 1}}}}},
+			General: []ModelPayload{{Domain: "it", Version: 1, Params: []byte{5, 6}}},
+		}},
+		&Request{Op: OpHandoverPush, Handoff: &HandoffPayload{
+			FromNode: "node-2", Reason: HandoffReplica,
+			General: []ModelPayload{{Domain: "sports", Version: 1, Params: []byte{7}}},
+		}},
 	)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, version, err := ReadRequestV(bytes.NewReader(data))
@@ -134,8 +144,13 @@ func FuzzReadResponse(f *testing.F) {
 	seedFramesV2(f,
 		&Response{OK: true, Model: &ModelPayload{Domain: "it", Version: 2, Params: []byte{9, 8, 7}}},
 		&Response{OK: true, Node: &NodeStats{Name: "node-1", NeighborHits: 4, NeighborBytes: 512, OriginBytes: 2048, FetchLatencyMs: 5.5}},
+		&Response{OK: true, Node: &NodeStats{
+			Name: "node-2", Generals: []string{"it", "sports"},
+			Hot: []DomainHeat{{Domain: "it", Count: 31}}, ReplicasOut: 2, ReplicasIn: 1,
+		}},
 		&Response{OK: true, Peers: []PeerInfo{{Name: "node-0", Index: 0, Addr: "127.0.0.1:7101"}}},
 		&Response{OK: false, Error: ErrMeshOpVersion.Error()},
+		&Response{OK: false, Draining: true, Error: "draining: member is leaving the mesh"},
 	)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		resp, version, err := ReadResponseV(bytes.NewReader(data))

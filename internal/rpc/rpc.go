@@ -135,15 +135,54 @@ type HandoffModel struct {
 	Model ModelPayload `json:"model"`
 }
 
+// Handover-push reasons. The empty reason is a mobility handover (OpMove
+// changed the user's serving node); drain and replica pushes reuse the
+// same op with an explicit tag so receivers can pin accordingly.
+const (
+	// HandoffDrain marks a push from a gracefully departing member: the
+	// receiver is the new consistent-hash owner and installs shipped
+	// general models pinned.
+	HandoffDrain = "drain"
+	// HandoffReplica marks a proactive hot-model replica push: the
+	// receiver installs shipped general models unpinned, as a cache hint.
+	HandoffReplica = "replica"
+)
+
 // HandoffPayload is the complete user state shipped by OpHandoverPush:
 // every individual model both pipeline sides hold for the user, plus the
 // per-user channel-noise sequence counter so the user's noise stream
-// continues bit-identically on the new owner.
+// continues bit-identically on the new owner. Drain pushes additionally
+// carry the user's selection-filter posterior and buffered federated
+// transactions, so the stream continues exactly where it left off, and
+// may ship general models (as do replica pushes) with User empty.
 type HandoffPayload struct {
 	User     string         `json:"user"`
 	FromNode string         `json:"from_node"`
 	NoiseSeq uint64         `json:"noise_seq"`
 	Models   []HandoffModel `json:"models,omitempty"`
+	// Reason tags the push: "" (mobility), HandoffDrain or HandoffReplica.
+	Reason string `json:"reason,omitempty"`
+	// General carries general (user-independent) models pushed by drain
+	// rebalancing or hot-model replication.
+	General []ModelPayload `json:"general,omitempty"`
+	// Belief is the user's domain-selection posterior (sticky selector).
+	Belief []float64 `json:"belief,omitempty"`
+	// Buffers are the user's pending federated-update transactions.
+	Buffers []BufferState `json:"buffers,omitempty"`
+}
+
+// BufferState is one (user, domain) federated-update buffer in wire form.
+type BufferState struct {
+	Domain string    `json:"domain"`
+	Txs    []TxState `json:"txs,omitempty"`
+}
+
+// TxState is one buffered transaction: the surface token ids, the concept
+// ids the encoder chose, and the decoder's reconstruction.
+type TxState struct {
+	Surfaces []int `json:"surfaces,omitempty"`
+	Concepts []int `json:"concepts,omitempty"`
+	Decoded  []int `json:"decoded,omitempty"`
 }
 
 // Response is a daemon-to-client message.
@@ -154,6 +193,12 @@ type Response struct {
 	// Shed marks a request rejected by admission control (queue wait
 	// exceeded the deadline or the shed threshold) rather than failed.
 	Shed bool `json:"shed,omitempty"`
+
+	// Draining marks a request refused because the member is gracefully
+	// leaving the mesh. The response is only written after the member has
+	// handed its state off, so a client that retries against the surviving
+	// membership finds the user's state already at the new owner.
+	Draining bool `json:"draining,omitempty"`
 
 	// Transmit results. Mismatch, PayloadBytes and LatencyMs always
 	// serialize: a perfect zero-mismatch transmit must stay
@@ -269,6 +314,25 @@ type NodeStats struct {
 	OriginFetches  int64   `json:"origin_fetches"`
 	OriginBytes    int64   `json:"origin_bytes,omitempty"`
 	FetchLatencyMs float64 `json:"fetch_latency_ms,omitempty"`
+
+	// Generals lists the domains whose general model this node's sender
+	// cache currently holds. Peers use it for coordinated eviction (never
+	// evict the mesh's last copy) and to skip redundant drain pushes.
+	Generals []string `json:"generals,omitempty"`
+	// Hot reports per-domain transmit counts, hottest first — the
+	// popularity signal replication promotes on, piggybacked on the
+	// OpPeerStats probe exchange.
+	Hot []DomainHeat `json:"hot,omitempty"`
+	// ReplicasOut counts general-model replicas this node pushed to its
+	// ring-successors; ReplicasIn counts replicas it received.
+	ReplicasOut int64 `json:"replicas_out,omitempty"`
+	ReplicasIn  int64 `json:"replicas_in,omitempty"`
+}
+
+// DomainHeat is one entry of NodeStats.Hot.
+type DomainHeat struct {
+	Domain string `json:"domain"`
+	Count  int64  `json:"count"`
 }
 
 // Merge folds other's counters into s, so per-process stats scraped from

@@ -207,6 +207,40 @@ func (s *Sticky) Feedback(float64) {}
 // Reset implements Selector.
 func (s *Sticky) Reset() { s.belief = nil }
 
+// BeliefCarrier is implemented by selectors whose per-stream context is a
+// portable posterior over domains, so a user handover can move the
+// selection state to the new serving node and the stream continues
+// bit-identically.
+type BeliefCarrier interface {
+	// ExportBelief returns a copy of the posterior, nil before the first
+	// message.
+	ExportBelief() []float64
+	// ImportBelief replaces the posterior with a copy of b; nil resets.
+	ImportBelief(b []float64)
+}
+
+var _ BeliefCarrier = (*Sticky)(nil)
+
+// ExportBelief implements BeliefCarrier.
+func (s *Sticky) ExportBelief() []float64 {
+	if s.belief == nil {
+		return nil
+	}
+	out := make([]float64, len(s.belief))
+	copy(out, s.belief)
+	return out
+}
+
+// ImportBelief implements BeliefCarrier.
+func (s *Sticky) ImportBelief(b []float64) {
+	if b == nil {
+		s.belief = nil
+		return
+	}
+	s.belief = make([]float64, len(b))
+	copy(s.belief, b)
+}
+
 // QLearn is the reinforcement-learning selector from §III-A implemented as
 // contextual Q-learning: the state is (previous selection, naive-Bayes
 // guess) and the action is the domain to use. The reward is the downstream
