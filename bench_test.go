@@ -8,6 +8,7 @@ package repro
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -700,6 +701,89 @@ func BenchmarkTransmitThroughput(b *testing.B) {
 	})
 }
 
+// BenchmarkChannelStage isolates core.System step 3 — the physical
+// channel crossing — under concurrent load, contrasting the two
+// synchronization schemes the serve path selects between at NewSystem:
+// mutex is the serialized shared link (one reseed + crossing at a time
+// under a lock — the pre-lock-free PerUserNoise path, and still the
+// classic shared-RNG path), pooled is the lock-free stage (each crossing
+// checks a private instance out of a channel.LinkPool and reseeds it to
+// the message's derived seed). Payloads and seeds are identical and the
+// outputs bit-identical; only the synchronization differs, so at 8/32
+// users on a multi-core machine the mutex grid convoys while the pooled
+// grid scales with GOMAXPROCS.
+func BenchmarkChannelStage(b *testing.B) {
+	env := experiments.Environment()
+	codec := env.General("it")
+	gen := corpus.NewGenerator(env.Corpus, mat.NewRNG(5))
+	msg := gen.Message(env.Corpus.Domain("it").Index, nil)
+	feats := codec.EncodeWords(msg.Words)
+	dim := codec.FeatureDim()
+	flat := make([]float64, 0, len(feats)*dim)
+	for _, f := range feats {
+		flat = append(flat, f...)
+	}
+	mkLink := func() channel.FeatureLink {
+		return channel.DefaultFeatureLink(&channel.AWGN{SNRdB: 12, Rng: mat.NewRNG(0)})
+	}
+	// opSeed stands in for core's noiseSeed derivation: any per-op unique
+	// seed exercises the same reseed + draw work.
+	opSeed := func(u, i int) uint64 {
+		return (uint64(u)+1)*0x9e3779b97f4a7c15 + uint64(i)
+	}
+
+	grid := func(b *testing.B, users int, crossing func(seed uint64, dst []float64)) {
+		if users == 1 {
+			dst := make([]float64, len(flat))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				crossing(opSeed(0, i), dst)
+			}
+			return
+		}
+		p := (users + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0)
+		b.SetParallelism(p)
+		var next atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			u := int(next.Add(1)-1) % users
+			dst := make([]float64, len(flat))
+			i := 0
+			for pb.Next() {
+				crossing(opSeed(u, i), dst)
+				i++
+			}
+		})
+	}
+	for _, users := range []int{1, 8, 32} {
+		name := fmt.Sprintf("%duser", users)
+		if users > 1 {
+			name += "s"
+		}
+		users := users
+		b.Run("mutex/"+name, func(b *testing.B) {
+			link := mkLink()
+			rs := link.Ch.(channel.NoiseReseeder)
+			var mu sync.Mutex
+			var ts channel.TxScratch
+			grid(b, users, func(seed uint64, dst []float64) {
+				mu.Lock()
+				rs.ReseedNoise(seed)
+				link.SendFlatScratch(&ts, dst, flat)
+				mu.Unlock()
+			})
+		})
+		b.Run("pooled/"+name, func(b *testing.B) {
+			pool := channel.NewLinkPool(mkLink)
+			grid(b, users, func(seed uint64, dst []float64) {
+				inst := pool.Get()
+				inst.SendSeeded(seed, dst, flat)
+				pool.Put(inst)
+			})
+		})
+	}
+}
+
 // BenchmarkConcurrentTransmit measures ONE shared System under parallel
 // load from distinct users — the serve-path scaling the edged daemon
 // relies on. Unlike BenchmarkTransmitThroughput/parallel (one independent
@@ -707,18 +791,23 @@ func BenchmarkTransmitThroughput(b *testing.B) {
 // single deployment, at every batch window in {off, 50µs, 200µs} and
 // every user count in {1, 8, 32}. The window-0 cells keep their
 // historical names (1user, 8users) so the CI baseline gate keeps
-// tracking them; the batched cells are the tentpole's headline: at 32
-// users a non-zero window should beat window-0 well past 1.5x.
+// tracking them; the batched cells are the batching PR's headline: at 32
+// users a non-zero window should beat window-0 well past 1.5x. The
+// peruser/ cells run the same load in PerUserNoise mode, where the
+// channel stage is lock-free on pooled instances — at 8/32 users and
+// GOMAXPROCS >= 4 they should beat the classic cells, which still
+// serialize every crossing on linkMu.
 func BenchmarkConcurrentTransmit(b *testing.B) {
 	env := experiments.Environment()
 	const maxUsers = 32
-	newSystem := func(window time.Duration) *core.System {
+	newSystem := func(window time.Duration, perUser bool) *core.System {
 		sys, err := core.NewSystem(core.Config{
 			Selector:          core.SelectorSticky,
 			PinGeneral:        true,
 			DisableAutoUpdate: true,
 			Pretrained:        env.Generals,
 			BatchWindow:       window,
+			PerUserNoise:      perUser,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -766,24 +855,27 @@ func BenchmarkConcurrentTransmit(b *testing.B) {
 			}
 		})
 	}
-	windows := []struct {
-		name string
-		d    time.Duration
+	cells := []struct {
+		name    string
+		d       time.Duration
+		perUser bool
 	}{
-		{"", 0}, // historical names: 1user, 8users, 32users
-		{"window50us/", 50 * time.Microsecond},
-		{"window200us/", 200 * time.Microsecond},
+		{"", 0, false}, // historical names: 1user, 8users, 32users
+		{"window50us/", 50 * time.Microsecond, false},
+		{"window200us/", 200 * time.Microsecond, false},
+		{"peruser/", 0, true}, // lock-free pooled channel stage
+		{"peruser/window50us/", 50 * time.Microsecond, true},
 	}
-	for _, w := range windows {
+	for _, c := range cells {
 		for _, users := range []int{1, 8, 32} {
-			name := fmt.Sprintf("%s%duser", w.name, users)
+			name := fmt.Sprintf("%s%duser", c.name, users)
 			if users > 1 {
 				name += "s"
 			}
 			users := users
-			window := w.d
+			window, perUser := c.d, c.perUser
 			b.Run(name, func(b *testing.B) {
-				sys := newSystem(window)
+				sys := newSystem(window, perUser)
 				b.ResetTimer()
 				if users == 1 {
 					serial(b, sys)

@@ -21,6 +21,12 @@
 // from their neighbors before paying the cloud origin, and "stats"
 // reports per-node counters.
 //
+// With -pprof addr a net/http/pprof endpoint runs on a side port; adding
+// -profile-contention also records mutex and block profiles there
+// (runtime.SetMutexProfileFraction/SetBlockProfileRate), which is how
+// serve-path lock contention — e.g. the channel-stage lock the pooled
+// PerUserNoise path removed — is measured under live load.
+//
 // With -peers a,b,c -mesh-index i this process is instead member i of a
 // multi-process mesh: independent edged processes that cooperate over
 // the v2 wire protocol (liveness probes, cooperative model fetch,

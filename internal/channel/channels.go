@@ -78,6 +78,12 @@ func (c *AWGN) Transmit(symbols []complex128) []complex128 {
 	return c.TransmitTo(make([]complex128, 0, len(symbols)), symbols)
 }
 
+// ReseedNoise implements NoiseReseeder: the next Transmit draws the
+// exact noise stream a freshly constructed channel with this seed would.
+// The cached sigma and the warm noise buffer survive — they carry no
+// stream state.
+func (c *AWGN) ReseedNoise(seed uint64) { c.Rng.Reseed(seed) }
+
 // noiseBlock fills and returns c's reusable buffer with n normal deviates
 // drawn as one block: bit-identical to n scalar NormFloat64 calls
 // (mat.RNG.NormFloat64Block), amortizing per-draw call overhead across the
@@ -143,6 +149,10 @@ func (c *Rayleigh) Transmit(symbols []complex128) []complex128 {
 	return c.TransmitTo(make([]complex128, 0, len(symbols)), symbols)
 }
 
+// ReseedNoise implements NoiseReseeder: fading and noise draws restart
+// from the state a fresh channel with this seed would have.
+func (c *Rayleigh) ReseedNoise(seed uint64) { c.Rng.Reseed(seed) }
+
 // TransmitTo implements the allocation-free fast path; fading and noise
 // draws consume the RNG in exactly the Transmit order. Per-symbol fading
 // (the default) draws all four deviates per symbol — h_re, h_im, n_re,
@@ -206,6 +216,10 @@ func (c *Erasure) Name() string { return "erasure" }
 func (c *Erasure) Transmit(symbols []complex128) []complex128 {
 	return c.TransmitTo(make([]complex128, 0, len(symbols)), symbols)
 }
+
+// ReseedNoise implements NoiseReseeder: erasure draws restart from the
+// state a fresh channel with this seed would have.
+func (c *Erasure) ReseedNoise(seed uint64) { c.Rng.Reseed(seed) }
 
 // TransmitTo implements the allocation-free fast path; erasure draws
 // consume the RNG in exactly the Transmit order.

@@ -1,0 +1,81 @@
+package channel
+
+// This file implements the poolable channel stage: a TxInstance bundles
+// one independently usable copy of the physical layer (a FeatureLink
+// whose Channel owns a private noise RNG, plus the per-stage scratch
+// buffers), and a LinkPool hands instances to concurrent transmissions
+// without a lock. The design exists for per-message derived noise seeds
+// (core's PerUserNoise mode): because every draw's seed is a pure
+// function of (user, seq), WHICH physical instance performs the draw is
+// irrelevant — reseeding any instance to the derived seed reproduces the
+// exact bytes a single serialized channel would have produced under a
+// global mutex. Classic shared-RNG serving, whose noise stream advances
+// in global arrival order, cannot use the pool and keeps its lock.
+
+import "sync"
+
+// NoiseReseeder is a Channel whose randomness can be reset to a derived
+// seed, making one long-lived instance (and its warm noise buffers)
+// reusable across independent noise streams. Every stock stochastic
+// channel (AWGN, Rayleigh, Erasure) implements it; Clean has no
+// randomness to reseed.
+type NoiseReseeder interface {
+	// ReseedNoise resets the channel's RNG to the exact state a freshly
+	// constructed channel with this seed would have, discarding any
+	// cached deviates, so the next Transmit draws a stream depending
+	// only on seed.
+	ReseedNoise(seed uint64)
+}
+
+// TxInstance is everything one in-flight transmission needs exclusive
+// access to: a FeatureLink whose Channel owns a private RNG, and the
+// reusable stage buffers. An instance is not safe for concurrent use;
+// a LinkPool hands each transmission its own.
+type TxInstance struct {
+	link    FeatureLink
+	reseed  NoiseReseeder
+	scratch TxScratch
+}
+
+// SendSeeded resets the instance's noise stream to seed and runs one
+// allocation-free crossing. The output is bit-identical to reseeding a
+// shared serialized channel under a lock and calling SendFlatScratch:
+// the draw depends only on seed, never on which instance (or how warm a
+// buffer) performs it.
+func (t *TxInstance) SendSeeded(seed uint64, dst, flat []float64) LinkStats {
+	t.reseed.ReseedNoise(seed)
+	return t.link.SendFlatScratch(&t.scratch, dst, flat)
+}
+
+// LinkPool is a lock-free free list of TxInstances backing the parallel
+// channel stage: Get checks an instance out (constructing one on a cold
+// or post-GC pool), Put returns it warm. Steady-state checkout does not
+// allocate — the zero-allocation serve-path pin covers it.
+type LinkPool struct {
+	pool sync.Pool
+}
+
+// NewLinkPool builds a pool whose instances are created by mk. Each call
+// to mk must return an independent FeatureLink — in particular a freshly
+// constructed Channel owning its own RNG; sharing one channel between
+// instances would race. The channel must implement NoiseReseeder
+// (checked at first construction, panicking otherwise: a pooled channel
+// that cannot be reseeded would silently correlate streams).
+func NewLinkPool(mk func() FeatureLink) *LinkPool {
+	p := &LinkPool{}
+	p.pool.New = func() interface{} {
+		l := mk()
+		rs, ok := l.Ch.(NoiseReseeder)
+		if !ok {
+			panic("channel: pooled Channel must implement NoiseReseeder")
+		}
+		return &TxInstance{link: l, reseed: rs}
+	}
+	return p
+}
+
+// Get checks an instance out for exclusive use.
+func (p *LinkPool) Get() *TxInstance { return p.pool.Get().(*TxInstance) }
+
+// Put returns an instance for reuse. The caller must not touch it after.
+func (p *LinkPool) Put(t *TxInstance) { p.pool.Put(t) }

@@ -11,15 +11,17 @@ import (
 // repeated transmits stay on the steady-state path.
 func allocSystem(t *testing.T) *System {
 	t.Helper()
-	return allocSystemTier(t, "")
+	return allocSystemTier(t, "", false)
 }
 
-// allocSystemTier is allocSystem at an explicit serving kernel tier.
-func allocSystemTier(t *testing.T, tier string) *System {
+// allocSystemTier is allocSystem at an explicit serving kernel tier and
+// noise scheme (perUser selects the pooled lock-free channel stage).
+func allocSystemTier(t *testing.T, tier string, perUser bool) *System {
 	t.Helper()
 	cfg := goldenConfig()
 	cfg.DisableAutoUpdate = true
 	cfg.Tier = tier
+	cfg.PerUserNoise = perUser
 	s, err := NewSystem(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -34,57 +36,69 @@ func allocSystemTier(t *testing.T, tier string) *System {
 }
 
 // TestTransmitCodecPathZeroAllocs pins the steady-state Transmit codec
-// path — batched encode on the sender edge, the physical channel over the
-// shared scratch, batched decode on the receiver edge, and the
-// decoder-copy mismatch decode — at zero heap allocations per message.
-// This is exactly the per-message compute transmitSelected performs; what
-// remains outside are the retained artifacts (Result, transaction buffers,
-// restored words), which hold amortized state by design. The guarantee
-// holds at every kernel tier: the reduced-precision weight shadows are
-// built once per codec and the tiered kernels draw all temporaries from
-// the same scratch arena the f64 path uses.
+// path — batched encode on the sender edge, the physical channel, batched
+// decode on the receiver edge, and the decoder-copy mismatch decode — at
+// zero heap allocations per message. This is exactly the per-message
+// compute transmitSelected performs, crossing the channel through
+// sendOverChannel so both schemes are covered: the classic serialized
+// link AND the pooled lock-free PerUserNoise stage, whose steady-state
+// pool checkout must not allocate. What remains outside are the retained
+// artifacts (Result, transaction buffers, restored words), which hold
+// amortized state by design. The guarantee holds at every kernel tier:
+// the reduced-precision weight shadows are built once per codec and the
+// tiered kernels draw all temporaries from the same scratch arena the
+// f64 path uses.
 func TestTransmitCodecPathZeroAllocs(t *testing.T) {
 	if mat.RaceEnabled {
 		t.Skip("allocation accounting differs under -race")
 	}
-	for _, tier := range []string{"f64", "f32", "int8"} {
-		t.Run(tier, func(t *testing.T) {
-			s := allocSystemTier(t, tier)
-			words := corpus.NewGenerator(s.Corpus, mat.NewRNG(5)).Message(s.Corpus.Domain("it").Index, nil).Words
-			const domain, user = "it", "alloc-user"
+	for _, noise := range []struct {
+		name    string
+		perUser bool
+	}{{"shared", false}, {"pooled", true}} {
+		for _, tier := range []string{"f64", "f32", "int8"} {
+			t.Run(noise.name+"/"+tier, func(t *testing.T) {
+				s := allocSystemTier(t, tier, noise.perUser)
+				words := corpus.NewGenerator(s.Corpus, mat.NewRNG(5)).Message(s.Corpus.Domain("it").Index, nil).Words
+				const domain, user = "it", "alloc-user"
 
-			prev := mat.Parallelism()
-			defer mat.SetParallelism(prev)
-			mat.SetParallelism(1) // sharding spawns goroutines, which allocate
+				prev := mat.Parallelism()
+				defer mat.SetParallelism(prev)
+				mat.SetParallelism(1) // sharding spawns goroutines, which allocate
 
-			sc := mat.GetScratch()
-			defer mat.PutScratch(sc)
-			mismatch := make([]int, len(words))
+				sc := mat.GetScratch()
+				defer mat.PutScratch(sc)
+				mismatch := make([]int, len(words))
 
-			codecPath := func() {
-				sc.Reset()
-				enc, err := s.Sender.Encode(sc, domain, user, words)
-				if err != nil {
-					t.Fatal(err)
+				var seq uint64
+				codecPath := func() {
+					sc.Reset()
+					enc, err := s.Sender.Encode(sc, domain, user, words)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rx := sc.Mat(enc.Features.Rows, enc.Model.Codec.FeatureDim())
+					// The channel crossing transmitSelected performs: a derived
+					// per-message seed in PerUserNoise mode (advancing like the
+					// user's stream would), ignored by the classic shared link.
+					seed := noiseSeed(s.cfg.Seed, 12345, seq)
+					seq++
+					s.sendOverChannel(seed, rx.Data, enc.Features.Data)
+					if _, err := s.Receiver.DecodeConcepts(sc, domain, user, rx); err != nil {
+						t.Fatal(err)
+					}
+					// Decoder-copy mismatch: reuses the already-encoded features,
+					// as RecordTransaction does inside Transmit.
+					enc.Model.Codec.DecodeFeaturesInto(sc, enc.Features, mismatch)
 				}
-				rx := sc.Mat(enc.Features.Rows, enc.Model.Codec.FeatureDim())
-				s.linkMu.Lock()
-				s.link.SendFlatScratch(&s.linkScratch, rx.Data, enc.Features.Data)
-				s.linkMu.Unlock()
-				if _, err := s.Receiver.DecodeConcepts(sc, domain, user, rx); err != nil {
-					t.Fatal(err)
+				for i := 0; i < 8; i++ {
+					codecPath() // warm every arena and channel buffer to its high-water mark
 				}
-				// Decoder-copy mismatch: reuses the already-encoded features,
-				// as RecordTransaction does inside Transmit.
-				enc.Model.Codec.DecodeFeaturesInto(sc, enc.Features, mismatch)
-			}
-			for i := 0; i < 8; i++ {
-				codecPath() // warm every arena and channel buffer to its high-water mark
-			}
-			if allocs := testing.AllocsPerRun(100, codecPath); allocs != 0 {
-				t.Fatalf("steady-state Transmit codec path (%s tier) allocates %v times per message, want 0", tier, allocs)
-			}
-		})
+				if allocs := testing.AllocsPerRun(100, codecPath); allocs != 0 {
+					t.Fatalf("steady-state Transmit codec path (%s/%s) allocates %v times per message, want 0", noise.name, tier, allocs)
+				}
+			})
+		}
 	}
 }
 

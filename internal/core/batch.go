@@ -35,8 +35,9 @@ const DefaultBatchMaxTokens = 512
 // whether it ran solo or inside any batch (see Codec.EncodeBatchInto).
 // Channel noise draws happen under linkMu in batch arrival order, exactly
 // as solo transmits draw in global arrival order; in PerUserNoise mode
-// each job instead reseeds the channel RNG from its own (user, seq)
-// stream, so batching is noise-transparent there too.
+// each job's noise instead comes from its own (user, seq) derived seed on
+// a pooled channel instance, so the crossings run lock-free in parallel
+// and batching is noise-transparent there too.
 type batcher struct {
 	sys       *System
 	window    time.Duration
@@ -262,9 +263,10 @@ func groupOf(groups *[]codecGroup, codec *semantic.Codec, tier semantic.Tier) in
 }
 
 // execute runs one stolen batch: fused encode per sender codec, the
-// shared channel in arrival order under one linkMu hold, fused receiver
-// decode per receiver codec, fused decoder-copy decode per sender codec,
-// then signals every waiting request.
+// physical channel (parallel pooled crossings in PerUserNoise mode, the
+// shared channel in arrival order under one linkMu hold otherwise),
+// fused receiver decode per receiver codec, fused decoder-copy decode
+// per sender codec, then signals every waiting request.
 func (b *batcher) execute(jobs []*batchJob) {
 	b.batches.Add(1)
 	b.batchedReqs.Add(int64(len(jobs)))
@@ -298,25 +300,45 @@ func (b *batcher) execute(jobs []*batchJob) {
 		g.feats = g.codec.EncodeBatchInto(x.sc, x.msgs)
 	}
 
-	// Physical channel: per-request noise draws in batch arrival order
-	// under a single linkMu hold, writing received features straight into
-	// the packed per-receiver-codec matrices.
+	// Physical channel: each job's received features go straight into the
+	// packed per-receiver-codec matrices. In PerUserNoise mode the
+	// crossings are independent — every job's noise comes from its own
+	// derived seed — so they shard across the worker pool on pooled
+	// channel instances with no lock; each job writes a disjoint row
+	// range of its group matrix. Classic mode draws from the shared RNG
+	// in batch arrival order under a single linkMu hold, exactly as solo
+	// transmits draw in global arrival order.
 	for gi := range x.rgroups {
 		g := &x.rgroups[gi]
 		g.feats = x.sc.Mat(g.tokens, g.codec.FeatureDim())
 	}
-	b.sys.linkMu.Lock()
-	for _, j := range jobs {
-		ed := j.senderCodec.FeatureDim()
-		rd := j.recvCodec.FeatureDim()
-		enc := x.sgroups[j.sgIdx].feats.Data[j.sgOff*ed : (j.sgOff+len(j.words))*ed]
-		rx := x.rgroups[j.rgIdx].feats.Data[j.rgOff*rd : (j.rgOff+len(j.words))*rd]
-		if j.reseed {
-			b.sys.noiseRng.Reseed(j.noiseSeed)
+	if b.sys.userNoise && !b.sys.serialLink {
+		mat.ParallelFor(len(jobs), 1, func(lo, hi int) {
+			inst := b.sys.linkPool.Get()
+			for i := lo; i < hi; i++ {
+				j := jobs[i]
+				ed := j.senderCodec.FeatureDim()
+				rd := j.recvCodec.FeatureDim()
+				enc := x.sgroups[j.sgIdx].feats.Data[j.sgOff*ed : (j.sgOff+len(j.words))*ed]
+				rx := x.rgroups[j.rgIdx].feats.Data[j.rgOff*rd : (j.rgOff+len(j.words))*rd]
+				j.linkStats = inst.SendSeeded(j.noiseSeed, rx, enc)
+			}
+			b.sys.linkPool.Put(inst)
+		})
+	} else {
+		b.sys.linkMu.Lock()
+		for _, j := range jobs {
+			ed := j.senderCodec.FeatureDim()
+			rd := j.recvCodec.FeatureDim()
+			enc := x.sgroups[j.sgIdx].feats.Data[j.sgOff*ed : (j.sgOff+len(j.words))*ed]
+			rx := x.rgroups[j.rgIdx].feats.Data[j.rgOff*rd : (j.rgOff+len(j.words))*rd]
+			if j.reseed {
+				b.sys.noiseRng.Reseed(j.noiseSeed)
+			}
+			j.linkStats = b.sys.link.SendFlatScratch(&b.sys.linkScratch, rx, enc)
 		}
-		j.linkStats = b.sys.link.SendFlatScratch(&b.sys.linkScratch, rx, enc)
+		b.sys.linkMu.Unlock()
 	}
-	b.sys.linkMu.Unlock()
 
 	// Fused receiver decode per receiver codec; jobs get subslice views.
 	for gi := range x.rgroups {

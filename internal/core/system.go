@@ -24,12 +24,17 @@
 // Channel noise comes in two schemes. The classic single-sender mode
 // draws from one shared RNG in global arrival order, so individual noise
 // realizations depend on the interleaving (historical behavior, pinned
-// by golden digests). Cluster mode (Config.Nodes > 1) — and any system
-// with Config.PerUserNoise set — instead derives an independent noise
-// stream per (user, message-sequence) pair, making every user's noise
-// independent of interleaving AND of which process serves them: a
+// by golden digests) and every transmission serializes through one
+// mutex-guarded channel. Cluster mode (Config.Nodes > 1) — and any
+// system with Config.PerUserNoise set — instead derives an independent
+// noise stream per (user, message-sequence) pair, making every user's
+// noise independent of interleaving AND of which process serves them: a
 // multi-process mesh whose nodes each run their own System reproduces
-// the single-process cluster's noise bit-for-bit.
+// the single-process cluster's noise bit-for-bit. Because those derived
+// seeds depend on nothing shared, the PerUserNoise channel stage runs
+// lock-free on a pool of per-request channel instances — transmissions
+// cross the physical layer fully in parallel, with outputs bit-identical
+// to the serialized draws at any worker count.
 package core
 
 import (
@@ -281,23 +286,34 @@ type System struct {
 	usersMu sync.RWMutex
 	users   map[string]*userState
 
-	// linkMu serializes the shared physical channel: its noise RNG is the
-	// one stateful component every transmission crosses. The critical
-	// section is small next to the encode/decode compute, which runs
-	// outside it. linkScratch holds the reusable channel stage buffers,
-	// guarded by the same mutex.
+	// The physical channel comes in two implementations, selected once at
+	// NewSystem. Classic shared-RNG mode keeps linkMu: the noise RNG is
+	// the one stateful component every transmission crosses, and its
+	// draws advance in strict global arrival order (pinned by golden
+	// digests), so transmits serialize here — the critical section is
+	// small next to the encode/decode compute, which runs outside it.
+	// linkScratch holds the reusable channel stage buffers, guarded by
+	// the same mutex.
 	linkMu       sync.Mutex
 	link         channel.FeatureLink
 	linkScratch  channel.TxScratch
 	symbolRateHz float64
 	edgeLink     netsim.Link
 
-	// userNoise selects per-user derived noise streams; noiseRng is then
-	// the channel's RNG instance, reseeded under linkMu before every
-	// message so the long-lived channel (and its warm noise buffers) is
-	// reused across independent streams.
-	userNoise bool
-	noiseRng  *mat.RNG
+	// userNoise selects per-user derived noise streams. Every draw's seed
+	// is then a pure function of (user, seq), independent of arrival
+	// order and serving process, so the channel stage needs no lock:
+	// linkPool hands each transmission its own channel instance (private
+	// RNG + stage scratch), reseeded per message. Outputs are
+	// bit-identical to serializing the draws under linkMu at any worker
+	// count and interleaving. serialLink is a test-only override that
+	// routes PerUserNoise transmits back through the pre-pool serialized
+	// path (reseed the shared RNG under linkMu), preserved as the
+	// bit-identity reference; it must be set before any traffic.
+	userNoise  bool
+	noiseRng   *mat.RNG
+	linkPool   *channel.LinkPool
+	serialLink bool
 
 	// batcher is the cross-request dynamic batching collector, nil when
 	// Config.BatchWindow is zero (solo per-request path).
@@ -495,17 +511,21 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	rng := mat.NewRNG(cfg.Seed ^ 0x5eed)
 	noiseRng := rng.Split()
-	var ch channel.Channel
-	if cfg.Rayleigh {
-		ch = &channel.Rayleigh{SNRdB: cfg.SNRdB, Rng: noiseRng}
-	} else {
-		ch = &channel.AWGN{SNRdB: cfg.SNRdB, Rng: noiseRng}
+	// mkChannel builds one stochastic channel instance around its own RNG;
+	// the shared link uses noiseRng, and in PerUserNoise mode the link
+	// pool constructs additional instances whose RNGs are reseeded from
+	// the (user, seq) derivation before every message.
+	mkChannel := func(r *mat.RNG) channel.Channel {
+		if cfg.Rayleigh {
+			return &channel.Rayleigh{SNRdB: cfg.SNRdB, Rng: r}
+		}
+		return &channel.AWGN{SNRdB: cfg.SNRdB, Rng: r}
 	}
 	link := channel.FeatureLink{
 		Quant: channel.Quantizer{Bits: cfg.QuantBits, Lo: -1, Hi: 1},
 		Code:  code,
 		Mod:   mod,
-		Ch:    ch,
+		Ch:    mkChannel(noiseRng),
 	}
 
 	s := &System{
@@ -522,6 +542,17 @@ func NewSystem(cfg Config) (*System, error) {
 		userNoise:    cfg.PerUserNoise,
 		noiseRng:     noiseRng,
 		users:        make(map[string]*userState, 16),
+	}
+	if cfg.PerUserNoise {
+		// Lock-free channel stage: the pool's instances share the
+		// stateless quantizer/code/modulation values with the main link
+		// but each own a private channel + RNG, seeded per message. The
+		// placeholder seed is never drawn from — SendSeeded reseeds first.
+		s.linkPool = channel.NewLinkPool(func() channel.FeatureLink {
+			l := link
+			l.Ch = mkChannel(mat.NewRNG(0))
+			return l
+		})
 	}
 	if cfg.BatchWindow > 0 {
 		s.batcher = newBatcher(s, cfg.BatchWindow, cfg.BatchMaxTokens)
@@ -622,6 +653,31 @@ func (s *System) nextNoiseSeed(st *userState, user string) uint64 {
 	return noiseSeed(s.cfg.Seed, cluster.Hash64(user), seq)
 }
 
+// sendOverChannel runs one message's physical-channel crossing using the
+// scheme selected at NewSystem. In PerUserNoise mode the crossing is
+// lock-free: a pooled channel instance is checked out, reseeded to the
+// message's derived seed and returned — bit-identical to reseeding one
+// shared serialized channel, because the draw depends only on seed. In
+// classic shared-RNG mode (seed is then ignored) every crossing
+// serializes under linkMu so the shared noise stream advances in strict
+// global arrival order. The serialLink test hook routes PerUserNoise
+// crossings through the serialized path as the bit-identity reference.
+func (s *System) sendOverChannel(seed uint64, dst, src []float64) channel.LinkStats {
+	if s.userNoise && !s.serialLink {
+		inst := s.linkPool.Get()
+		stats := inst.SendSeeded(seed, dst, src)
+		s.linkPool.Put(inst)
+		return stats
+	}
+	s.linkMu.Lock()
+	if s.userNoise {
+		s.noiseRng.Reseed(seed)
+	}
+	stats := s.link.SendFlatScratch(&s.linkScratch, dst, src)
+	s.linkMu.Unlock()
+	return stats
+}
+
 // senderFor returns the sender edge serving user: the routed cluster node
 // in cluster mode, the single sender otherwise.
 func (s *System) senderFor(user string) *edge.Server {
@@ -717,21 +773,17 @@ func (s *System) transmitSelected(sc *mat.Scratch, st *userState, user string, w
 		return nil, nil, err
 	}
 
-	// Step 3: physical channel. The shared noise RNG serializes here;
-	// everything compute-heavy stays outside the critical section. In
-	// PerUserNoise mode the RNG is reseeded from (user, seq) first, so the
-	// draw is independent of arrival interleaving and serving process.
+	// Step 3: physical channel. In PerUserNoise mode the crossing is
+	// lock-free on a pooled channel instance seeded from (user, seq), so
+	// the draw is independent of arrival interleaving, serving process
+	// AND of every other in-flight transmission; classic mode serializes
+	// the shared noise RNG under linkMu in global arrival order.
 	var seed uint64
 	if s.userNoise {
 		seed = s.nextNoiseSeed(st, user)
 	}
 	rx := sc.Mat(enc.Features.Rows, enc.Model.Codec.FeatureDim())
-	s.linkMu.Lock()
-	if s.userNoise {
-		s.noiseRng.Reseed(seed)
-	}
-	stats := s.link.SendFlatScratch(&s.linkScratch, rx.Data, enc.Features.Data)
-	s.linkMu.Unlock()
+	stats := s.sendOverChannel(seed, rx.Data, enc.Features.Data)
 	airTime := time.Duration(float64(stats.Symbols) / s.symbolRateHz * float64(time.Second))
 	airTime += s.edgeLink.Latency
 

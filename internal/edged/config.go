@@ -62,6 +62,12 @@ type Config struct {
 	Nodes int
 	// PprofAddr exposes net/http/pprof when non-empty.
 	PprofAddr string
+	// ProfileContention additionally enables mutex and block profiling
+	// (runtime.SetMutexProfileFraction / SetBlockProfileRate) so the
+	// pprof endpoint can attribute lock contention on the serve path.
+	// Requires PprofAddr; the profiles have measurable overhead, so the
+	// flag is opt-in.
+	ProfileContention bool
 	// Workers caps pretraining/kernel parallelism; 0 = GOMAXPROCS.
 	Workers int
 	// MaxInflight caps concurrently served transmits; 0 = 2x GOMAXPROCS,
@@ -112,6 +118,7 @@ func FromFlags(fs *flag.FlagSet) *Config {
 	fs.StringVar(&cfg.KBDir, "kb", "", "directory of pretrained .kbm models (see cmd/semkb); empty pretrains at startup")
 	fs.IntVar(&cfg.Nodes, "nodes", 0, "in-process cluster mode: number of sender edge nodes (0/1 = classic single sender)")
 	fs.StringVar(&cfg.PprofAddr, "pprof", "", "expose net/http/pprof on this address (e.g. localhost:6060); empty disables")
+	fs.BoolVar(&cfg.ProfileContention, "profile-contention", false, "also record mutex and block profiles on the -pprof endpoint (has overhead; requires -pprof)")
 	fs.IntVar(&cfg.Workers, "workers", 0, "parallel workers for pretraining and codec kernels (0 = GOMAXPROCS)")
 	fs.IntVar(&cfg.MaxInflight, "max-inflight", 0, "max concurrently served transmits (0 = 2x GOMAXPROCS, <0 = unlimited)")
 	fs.DurationVar(&cfg.IdleTimeout, "idle-timeout", 5*time.Minute, "per-connection read deadline; 0 disables")
@@ -166,6 +173,9 @@ func (c *Config) Validate() error {
 	}
 	if c.Nodes < 0 {
 		return &ConfigError{Field: "nodes", Value: c.Nodes, Reason: "must be >= 0"}
+	}
+	if c.ProfileContention && c.PprofAddr == "" {
+		return &ConfigError{Field: "profile-contention", Value: c.ProfileContention, Reason: "contention profiles are served over -pprof, which is not set"}
 	}
 	for _, d := range []struct {
 		field string

@@ -43,6 +43,7 @@ func TestValidateTypedErrors(t *testing.T) {
 		{"negative nodes", []string{"-nodes", "-2"}, "nodes"},
 		{"negative window", []string{"-batch-window", "-1ms"}, "batch-window"},
 		{"negative shed", []string{"-shed-after", "-1s"}, "shed-after"},
+		{"contention without pprof", []string{"-profile-contention"}, "profile-contention"},
 		{"one-member mesh", []string{"-peers", "localhost:7060"}, "peers"},
 		{"malformed peer", []string{"-peers", "localhost:7060,nonsense"}, "peers"},
 		{"mesh index out of range", []string{"-peers", "a:1,b:2", "-mesh-index", "2"}, "mesh-index"},
@@ -59,6 +60,22 @@ func TestValidateTypedErrors(t *testing.T) {
 				t.Fatalf("error names field %q, want %q (%v)", ce.Field, tc.field, err)
 			}
 		})
+	}
+}
+
+// TestProfileContentionFlag checks the contention-profiling opt-in: off
+// by default, accepted alongside -pprof, rejected without it (covered in
+// TestValidateTypedErrors).
+func TestProfileContentionFlag(t *testing.T) {
+	if cfg := defaultConfig(t); cfg.ProfileContention {
+		t.Fatal("contention profiling on by default")
+	}
+	cfg := defaultConfig(t, "-pprof", "localhost:6060", "-profile-contention")
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("contention profiling with -pprof rejected: %v", err)
+	}
+	if !cfg.ProfileContention {
+		t.Fatal("flag did not set ProfileContention")
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof handlers for PprofAddr
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -69,6 +70,15 @@ func New(cfg Config) (*Daemon, error) {
 		mat.SetParallelism(cfg.Workers)
 	}
 	if cfg.PprofAddr != "" {
+		if cfg.ProfileContention {
+			// Opt-in contention observability: sample every mutex hold
+			// and every blocking event so /debug/pprof/mutex and
+			// /debug/pprof/block show where serve-path goroutines wait.
+			// This is how the per-user channel lock was measured before
+			// the pooled lock-free stage replaced it.
+			runtime.SetMutexProfileFraction(1)
+			runtime.SetBlockProfileRate(1)
+		}
 		// The pprof mux registers on http.DefaultServeMux via the blank
 		// import; serving it on a side port lets `go tool pprof` attach to
 		// a live daemon and profile serving hotspots under real load.

@@ -28,10 +28,14 @@ func NewRNG(seed uint64) *RNG {
 // Reseed resets the generator to the exact state NewRNG(seed) would
 // produce, discarding any cached polar spare. It lets a long-lived
 // generator (and whatever buffers hang off its consumers) be reused for
-// many independent short streams without reallocating.
+// many independent short streams without reallocating. The body is two
+// stores and inlines into per-message call sites: the lock-free channel
+// stage reseeds once per transmission, so this sits on the serve path.
+// The stale spare value itself is left in place — hasSpare alone gates
+// every read of it, so clearing the float would be a third store for
+// nothing.
 func (r *RNG) Reseed(seed uint64) {
 	r.state = seed
-	r.spare = 0
 	r.hasSpare = false
 }
 
